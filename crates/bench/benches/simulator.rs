@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the simulator itself.
+//!
+//! The paper's figures are deterministic virtual-time results; these
+//! benches instead measure the *wall-clock* cost of the model, so
+//! regressions in simulator performance are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use twob_core::{EntryId, TwoBSsd};
+use twob_ftl::Lba;
+use twob_sim::SimTime;
+use twob_ssd::{Ssd, SsdConfig};
+use twob_wal::{BaWal, WalConfig, WalWriter};
+
+fn bench_ssd_write_path(c: &mut Criterion) {
+    c.bench_function("ssd_4k_write_path", |b| {
+        let mut ssd = Ssd::new(SsdConfig::ull_ssd().small());
+        let page = vec![0xA5u8; 4096];
+        let mut t = SimTime::ZERO;
+        let mut lba = 0u64;
+        let cap = ssd.capacity_pages();
+        b.iter(|| {
+            t = ssd.write(t, Lba(lba % cap), black_box(&page)).expect("write");
+            lba += 1;
+        });
+    });
+}
+
+fn bench_ba_commit(c: &mut Criterion) {
+    c.bench_function("ba_wal_commit", |b| {
+        let mut wal =
+            BaWal::new(TwoBSsd::small_for_tests(), WalConfig::default(), 8).expect("wal");
+        let mut t = SimTime::from_nanos(1_000_000);
+        let body = vec![0x42u8; 100];
+        b.iter(|| {
+            t = wal
+                .append_commit(t, black_box(&body))
+                .expect("commit")
+                .commit_at;
+        });
+    });
+}
+
+fn bench_mmio_store(c: &mut Criterion) {
+    c.bench_function("twob_mmio_store_64b", |b| {
+        let mut dev = TwoBSsd::small_for_tests();
+        let pin = dev
+            .ba_pin(SimTime::ZERO, EntryId(0), 0, Lba(0), 4)
+            .expect("pin");
+        let mut t = pin.complete_at;
+        let data = vec![0x7Eu8; 64];
+        let mut offset = 0u64;
+        b.iter(|| {
+            let out = dev
+                .mmio_write(t, EntryId(0), offset % ((16 << 10) - 64), black_box(&data))
+                .expect("store");
+            t = out.retired_at;
+            offset += 64;
+        });
+    });
+}
+
+fn bench_linkbench_txn(c: &mut Criterion) {
+    use twob_db::{EngineCosts, MiniPg};
+    use twob_sim::SimRng;
+    use twob_wal::{BlockWal, CommitMode};
+    use twob_workloads::{LinkbenchConfig, LinkbenchWorkload};
+    c.bench_function("minipg_linkbench_txn", |b| {
+        let wal = BlockWal::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            WalConfig::default(),
+            CommitMode::Sync,
+        )
+        .expect("wal");
+        let mut pg = MiniPg::new(Box::new(wal), EngineCosts::postgres());
+        let mut rng = SimRng::seed_from(1);
+        let mut wl = LinkbenchWorkload::new(LinkbenchConfig::standard(200));
+        let mut t = SimTime::ZERO;
+        for txn in wl.load_phase(&mut rng, 1) {
+            t = pg.run_txn(t, &txn).expect("load").commit_at;
+        }
+        b.iter(|| {
+            let txn = wl.next_txn(&mut rng);
+            t = pg.run_txn(t, black_box(&txn)).expect("txn").commit_at;
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ssd_write_path, bench_ba_commit, bench_mmio_store, bench_linkbench_txn
+}
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+
+use twob_bench::ablations;
+
+fn main() {
+    println!("Ablation 1: BA-WAL double buffering (paper §IV-B)\n");
+    let db = ablations::double_buffering();
+    twob_bench::print_table(
+        &["buffering", "commits/s", "worst commit (us)"],
+        &[
+            vec![
+                "double".to_string(),
+                format!("{:.0}", db.double_ops_per_sec),
+                format!("{:.1}", db.double_worst_us),
+            ],
+            vec![
+                "single".to_string(),
+                format!("{:.0}", db.single_ops_per_sec),
+                format!("{:.1}", db.single_worst_us),
+            ],
+        ],
+    );
+
+    println!("\nAblation 2: DC-SSD sequential read-ahead (paper §V-B)\n");
+    let ra = ablations::read_ahead();
+    twob_bench::print_table(
+        &["read-ahead", "mean seq 4K read (us)"],
+        &[
+            vec!["on".to_string(), format!("{:.1}", ra.with_read_ahead_us)],
+            vec![
+                "off".to_string(),
+                format!("{:.1}", ra.without_read_ahead_us),
+            ],
+        ],
+    );
+
+    println!("\nAblation 3: log write amplification (paper §IV-A)\n");
+    let waf = ablations::waf();
+    twob_bench::print_table(
+        &["scheme", "log WAF"],
+        &[
+            vec!["block WAL".to_string(), format!("{:.1}", waf.block_waf)],
+            vec!["BA-WAL".to_string(), format!("{:.1}", waf.ba_waf)],
+        ],
+    );
+
+    println!("\nAblation 4: commit tail latency under 8 clients (paper §IV-A)\n");
+    let tails = ablations::tail_latency();
+    let rows: Vec<Vec<String>> = tails
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.2}", r.p50_us),
+                format!("{:.2}", r.p99_us),
+                format!("{:.2}", r.max_us),
+                format!("{:.1}", r.device_waf),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &["scheme", "p50 (us)", "p99 (us)", "max (us)", "log WAF"],
+        &rows,
+    );
+
+    println!("\nAblation 5: filesystem metadata journaling (paper §IV)\n");
+    let fsj = ablations::fs_journaling();
+    twob_bench::print_table(
+        &["journal", "metadata ops/s"],
+        &[
+            vec![
+                "block (DC-SSD)".to_string(),
+                format!("{:.0}", fsj.block_ops_per_sec),
+            ],
+            vec![
+                "BA-WAL (2B-SSD)".to_string(),
+                format!("{:.0}", fsj.ba_ops_per_sec),
+            ],
+        ],
+    );
+
+    println!("\nAblation 6: BA-WAL window size sensitivity (paper §VI)\n");
+    let bs = ablations::buffer_size();
+    let rows: Vec<Vec<String>> = bs
+        .rows
+        .iter()
+        .map(|(pages, tput)| vec![format!("{} pages", pages), format!("{tput:.0}")])
+        .collect();
+    twob_bench::print_table(&["window", "commits/s"], &rows);
+
+    println!("\nAblation 7: group commit vs per-record commits\n");
+    let gc = ablations::group_commit();
+    twob_bench::print_table(
+        &["scheme", "records/s (durable)"],
+        &[
+            vec!["DC-SSD sync, solo".to_string(), format!("{:.0}", gc.dc_solo)],
+            vec![
+                "DC-SSD sync, batches of 16".to_string(),
+                format!("{:.0}", gc.dc_grouped),
+            ],
+            vec![
+                "BA-WAL, per-record durable".to_string(),
+                format!("{:.0}", gc.ba_solo),
+            ],
+        ],
+    );
+
+    println!("\nAblation 8: bulk block write + pinned small reads (paper §VI)\n");
+    let pr = ablations::pinned_reads();
+    twob_bench::print_table(
+        &["path", "mean 64 B read (us)"],
+        &[
+            vec![
+                "block (whole-page NVMe read)".to_string(),
+                format!("{:.2}", pr.block_read_us),
+            ],
+            vec![
+                "pinned MMIO window".to_string(),
+                format!("{:.2}", pr.pinned_mmio_us),
+            ],
+        ],
+    );
+    println!("one-time pin cost: {:.1} us", pr.pin_cost_us);
+
+    println!("\nAblation 9: internal-datapath interference on block I/O (paper §VI)\n");
+    let intf = ablations::interference();
+    twob_bench::print_table(
+        &["block 8-page reads", "MB/s"],
+        &[
+            vec![
+                "alone".to_string(),
+                format!("{:.0}", intf.block_alone_mbs),
+            ],
+            vec![
+                "with saturating BA_PIN/BA_FLUSH stream".to_string(),
+                format!("{:.0}", intf.block_contended_mbs),
+            ],
+        ],
+    );
+
+    println!("\nAblation 10: random 4 KiB read throughput vs queue depth\n");
+    let qd = ablations::queue_depth();
+    let rows: Vec<Vec<String>> = qd
+        .rows
+        .iter()
+        .map(|(depth, ull, dc)| {
+            vec![
+                depth.to_string(),
+                format!("{ull:.0}"),
+                format!("{dc:.0}"),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(&["QD", "ULL-SSD kIOPS", "DC-SSD kIOPS"], &rows);
+}

@@ -1,0 +1,28 @@
+//! Regenerates the paper's §V-C claim: transaction-commit overhead reduced
+//! by up to 26× versus conventional block logging.
+
+fn main() {
+    let rows = twob_bench::commit_cost::run();
+    println!("Commit-path cost per scheme (us) and reduction factors\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.payload.to_string(),
+                format!("{:.1}", r.dc_us),
+                format!("{:.1}", r.ull_us),
+                format!("{:.2}", r.ba_us),
+                format!("{:.1}x", r.reduction_vs_dc),
+                format!("{:.1}x", r.reduction_vs_ull),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &["payload(B)", "DC sync", "ULL sync", "BA commit", "vs DC", "vs ULL"],
+        &table,
+    );
+    println!(
+        "\njson: {}",
+        serde_json::to_string(&rows).expect("serialize commit costs")
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates paper Fig 10: hybrid store (2B-SSD) versus heterogeneous
+//! memory (PM + block SSD) on PostgreSQL + Linkbench.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = twob_bench::fig10::run(quick);
+    println!("Fig 10: normalized Linkbench throughput (baseline = 2B-SSD)\n");
+    let rows = vec![
+        vec!["baseline (2B-SSD)".to_string(), "1.000".to_string()],
+        vec!["PM + DC-SSD".to_string(), format!("{:.3}", r.pm_dc)],
+        vec!["PM + ULL-SSD".to_string(), format!("{:.3}", r.pm_ull)],
+        vec!["ASYNC".to_string(), format!("{:.3}", r.async_max)],
+    ];
+    twob_bench::print_table(&["configuration", "normalized throughput"], &rows);
+    println!("\nbaseline absolute: {:.0} txns/s", r.baseline_tps);
+    println!(
+        "\njson: {}",
+        serde_json::to_string(&r).expect("serialize fig10")
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates paper Fig 7: read/write latency versus request size.
+
+fn main() {
+    let rows = twob_bench::fig7::run();
+    println!("Fig 7(a): read latency vs request size (us)\n");
+    let read_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                format!("{:.1}", r.dc_read_us),
+                format!("{:.1}", r.ull_read_us),
+                format!("{:.1}", r.mmio_read_us),
+                format!("{:.1}", r.dma_read_us),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &["size(B)", "DC-SSD", "ULL-SSD", "MMIO", "read-DMA"],
+        &read_rows,
+    );
+
+    println!("\nFig 7(b): write latency vs request size (us)\n");
+    let write_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                format!("{:.1}", r.dc_write_us),
+                format!("{:.1}", r.ull_write_us),
+                format!("{:.2}", r.mmio_write_us),
+                format!("{:.2}", r.persistent_mmio_write_us),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &["size(B)", "DC-SSD", "ULL-SSD", "MMIO", "MMIO+sync"],
+        &write_rows,
+    );
+
+    println!(
+        "\njson: {}",
+        serde_json::to_string(&rows).expect("serialize fig7")
+    );
+}

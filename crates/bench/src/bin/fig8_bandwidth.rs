@@ -1,0 +1,43 @@
+//! Regenerates paper Fig 8: bandwidth versus request size at QD1.
+
+fn main() {
+    let rows = twob_bench::fig8::run();
+    println!("Fig 8(a): read bandwidth vs request size (MB/s)\n");
+    let read_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}K", r.size >> 10),
+                format!("{:.0}", r.ull_read_mbs),
+                format!("{:.0}", r.dc_read_mbs),
+                format!("{:.0}", r.twob_internal_read_mbs),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &["size", "ULL-SSD", "DC-SSD", "2B internal (BA_PIN)"],
+        &read_rows,
+    );
+
+    println!("\nFig 8(b): write bandwidth vs request size (MB/s)\n");
+    let write_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}K", r.size >> 10),
+                format!("{:.0}", r.ull_write_mbs),
+                format!("{:.0}", r.dc_write_mbs),
+                format!("{:.0}", r.twob_internal_write_mbs),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &["size", "ULL-SSD", "DC-SSD", "2B internal (BA_FLUSH)"],
+        &write_rows,
+    );
+
+    println!(
+        "\njson: {}",
+        serde_json::to_string(&rows).expect("serialize fig8")
+    );
+}

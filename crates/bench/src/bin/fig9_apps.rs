@@ -1,0 +1,47 @@
+//! Regenerates paper Fig 9: application-level throughput on PostgreSQL
+//! (Linkbench), RocksDB (YCSB-A), and Redis (YCSB-A).
+
+use twob_bench::fig9::EngineSeries;
+
+fn series_row(label: String, s: &EngineSeries) -> Vec<String> {
+    vec![
+        label,
+        format!("{:.0}", s.dc),
+        format!("{:.0}", s.ull),
+        format!("{:.0}", s.twob),
+        format!("{:.0}", s.async_max),
+        format!("{:.2}x", s.gain_vs_dc()),
+        format!("{:.2}x", s.gain_vs_ull()),
+        format!("{:.0}%", s.fraction_of_async() * 100.0),
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = twob_bench::fig9::run(quick);
+    let headers = [
+        "workload",
+        "DC-SSD",
+        "ULL-SSD",
+        "2B-SSD",
+        "ASYNC",
+        "2B/DC",
+        "2B/ULL",
+        "of ASYNC",
+    ];
+
+    println!("Fig 9: application throughput (ops/s or txns/s)\n");
+    let mut rows = vec![series_row("PostgreSQL+Linkbench".to_string(), &report.pg)];
+    for (payload, s) in &report.rocks {
+        rows.push(series_row(format!("RocksDB+YCSB-A {payload}B"), s));
+    }
+    for (payload, s) in &report.redis {
+        rows.push(series_row(format!("Redis+YCSB-A {payload}B"), s));
+    }
+    twob_bench::print_table(&headers, &rows);
+
+    println!(
+        "\njson: {}",
+        serde_json::to_string(&report).expect("serialize fig9")
+    );
+}

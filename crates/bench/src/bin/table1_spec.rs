@@ -1,0 +1,10 @@
+//! Prints paper Table I: the 2B-SSD specification.
+
+fn main() {
+    println!("Table I: 2B-SSD specification\n");
+    let rows: Vec<Vec<String>> = twob_bench::table1::rows()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    twob_bench::print_table(&["Item", "Description"], &rows);
+}

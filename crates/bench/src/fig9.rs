@@ -1,0 +1,310 @@
+//! Fig 9 — application-level throughput on three database engines.
+
+use serde::{Deserialize, Serialize};
+use twob_core::TwoBSsd;
+use twob_db::{EngineCosts, MiniPg, MiniRedis, MiniRocks};
+use twob_sim::{SimRng, SimTime};
+use twob_ssd::{Ssd, SsdConfig};
+use twob_wal::{BaWal, BlockWal, CommitMode, WalConfig, WalWriter};
+use twob_workloads::{ClientPool, LinkbenchConfig, LinkbenchWorkload, YcsbConfig, YcsbOp, YcsbWorkload};
+
+/// Which log device/scheme backs the engine's WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogKind {
+    /// Conventional WAL, synchronous commit, on the DC-SSD.
+    Dc,
+    /// Conventional WAL, synchronous commit, on the ULL-SSD.
+    Ull,
+    /// BA-WAL on the 2B-SSD.
+    TwoB,
+    /// Asynchronous commit (theoretical maximum; risk of data loss).
+    Async,
+}
+
+impl LogKind {
+    /// All four configurations of Fig 9, in the paper's order.
+    pub fn all() -> [LogKind; 4] {
+        [LogKind::Dc, LogKind::Ull, LogKind::TwoB, LogKind::Async]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LogKind::Dc => "DC-SSD",
+            LogKind::Ull => "ULL-SSD",
+            LogKind::TwoB => "2B-SSD",
+            LogKind::Async => "ASYNC",
+        }
+    }
+}
+
+/// How a BA-WAL should be buffered for an engine (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaLayout {
+    /// Two halves of the BA-buffer (PostgreSQL: segment = buffer/2).
+    Halves,
+    /// Two quarters (RocksDB: log file = buffer/4, half the buffer is
+    /// reserved for the second memtable's log).
+    Quarters,
+    /// One window spanning the whole buffer (Redis: no double buffering).
+    SingleWhole,
+}
+
+/// Builds the WAL for one `(kind, layout)` cell of Fig 9.
+///
+/// The 2B device gets a 2 MiB BA-buffer (a scaled-down 8 MB of Table I, in
+/// proportion to the bench-scale device) so segment halves hold thousands
+/// of records and double buffering can hide flushes, as on the prototype.
+///
+/// # Panics
+///
+/// Panics on invalid configuration — the presets here are all valid.
+pub fn make_wal(kind: LogKind, layout: BaLayout) -> Box<dyn WalWriter> {
+    let cfg = WalConfig {
+        region_pages: 2048,
+        ..WalConfig::default()
+    };
+    match kind {
+        LogKind::Dc => Box::new(
+            BlockWal::new(
+                Ssd::new(SsdConfig::dc_ssd().bench_scale()),
+                cfg,
+                CommitMode::Sync,
+            )
+            .expect("dc wal"),
+        ),
+        LogKind::Ull => Box::new(
+            BlockWal::new(
+                Ssd::new(SsdConfig::ull_ssd().bench_scale()),
+                cfg,
+                CommitMode::Sync,
+            )
+            .expect("ull wal"),
+        ),
+        LogKind::Async => Box::new(
+            BlockWal::new(
+                Ssd::new(SsdConfig::ull_ssd().bench_scale()),
+                cfg,
+                CommitMode::Async,
+            )
+            .expect("async wal"),
+        ),
+        LogKind::TwoB => {
+            // A bench-scale base device so the log region never starves
+            // the FTL of free blocks (the prototype is 800 GB; GC on a
+            // tiny test device would distort application results).
+            let spec = twob_core::TwoBSpec {
+                ba_buffer_bytes: 2 << 20,
+                ..twob_core::TwoBSpec::default()
+            };
+            let dev = TwoBSsd::new(SsdConfig::base_2b().bench_scale(), spec);
+            let buffer_pages = (dev.spec().ba_buffer_bytes / 4096) as u32;
+            match layout {
+                BaLayout::Halves => {
+                    Box::new(BaWal::new(dev, cfg, buffer_pages / 2).expect("ba wal"))
+                }
+                BaLayout::Quarters => {
+                    Box::new(BaWal::new(dev, cfg, buffer_pages / 4).expect("ba wal"))
+                }
+                BaLayout::SingleWhole => {
+                    Box::new(BaWal::new_single(dev, cfg, buffer_pages).expect("ba wal"))
+                }
+            }
+        }
+    }
+}
+
+/// Throughput (txns/s) of the PostgreSQL-style engine running the
+/// Linkbench-like mix.
+pub fn pg_linkbench(kind: LogKind, txns: u64, clients: usize, seed: u64) -> f64 {
+    let mut pg = MiniPg::new(make_wal(kind, BaLayout::Halves), EngineCosts::postgres());
+    let mut rng = SimRng::seed_from(seed);
+    let mut wl = LinkbenchWorkload::new(LinkbenchConfig::standard(500));
+    let mut t = SimTime::ZERO;
+    for txn in wl.load_phase(&mut rng, 2) {
+        t = pg.run_txn(t, &txn).expect("load").commit_at;
+    }
+    let start = t;
+    let mut pool = ClientPool::starting_at(clients, start);
+    for _ in 0..txns {
+        let (client, at) = pool.next_client();
+        let txn = wl.next_txn(&mut rng);
+        let out = pg.run_txn(at, &txn).expect("txn");
+        pool.complete(client, out.commit_at);
+    }
+    txns as f64 / pool.makespan().saturating_since(start).as_secs_f64()
+}
+
+/// Throughput (ops/s) of the RocksDB-style engine under YCSB-A with the
+/// given payload size.
+pub fn rocks_ycsb(kind: LogKind, payload: usize, ops: u64, clients: usize, seed: u64) -> f64 {
+    let mut db = MiniRocks::new(make_wal(kind, BaLayout::Quarters), EngineCosts::rocksdb());
+    let mut rng = SimRng::seed_from(seed);
+    let mut wl = YcsbWorkload::new(YcsbConfig::workload_a(500, payload));
+    let mut t = SimTime::ZERO;
+    for (key, value) in wl.load_phase(&mut rng) {
+        t = db.put(t, key, value).expect("load").commit_at;
+    }
+    let start = t;
+    let mut pool = ClientPool::starting_at(clients, start);
+    for _ in 0..ops {
+        let (client, at) = pool.next_client();
+        let done = match wl.next_op(&mut rng) {
+            YcsbOp::Read { key } => db.get(at, &key).0,
+            YcsbOp::Update { key, value } => db.put(at, key, value).expect("put").commit_at,
+        };
+        pool.complete(client, done);
+    }
+    ops as f64 / pool.makespan().saturating_since(start).as_secs_f64()
+}
+
+/// Throughput (ops/s) of the Redis-style engine under YCSB-A. Redis is
+/// single-threaded, so there is exactly one client.
+pub fn redis_ycsb(kind: LogKind, payload: usize, ops: u64, seed: u64) -> f64 {
+    let mut db = MiniRedis::new(make_wal(kind, BaLayout::SingleWhole), EngineCosts::redis());
+    let mut rng = SimRng::seed_from(seed);
+    let mut wl = YcsbWorkload::new(YcsbConfig::workload_a(500, payload));
+    let mut t = SimTime::ZERO;
+    for (key, value) in wl.load_phase(&mut rng) {
+        t = db.set(t, key, value).expect("load").commit_at;
+    }
+    let start = t;
+    for _ in 0..ops {
+        t = match wl.next_op(&mut rng) {
+            YcsbOp::Read { key } => db.get(t, &key).0,
+            YcsbOp::Update { key, value } => db.set(t, key, value).expect("set").commit_at,
+        };
+    }
+    ops as f64 / t.saturating_since(start).as_secs_f64()
+}
+
+/// Throughput of the four log configurations for one engine/payload cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineSeries {
+    /// DC-SSD, synchronous commit.
+    pub dc: f64,
+    /// ULL-SSD, synchronous commit.
+    pub ull: f64,
+    /// 2B-SSD, BA commit.
+    pub twob: f64,
+    /// Asynchronous commit.
+    pub async_max: f64,
+}
+
+impl EngineSeries {
+    /// Speed-up of 2B-SSD over DC-SSD (paper headline: 1.2–2.8×).
+    pub fn gain_vs_dc(&self) -> f64 {
+        self.twob / self.dc
+    }
+
+    /// Speed-up of 2B-SSD over ULL-SSD (paper: 1.15–2.3×).
+    pub fn gain_vs_ull(&self) -> f64 {
+        self.twob / self.ull
+    }
+
+    /// Fraction of the asynchronous-commit maximum 2B-SSD reaches
+    /// (paper: 75–95 %).
+    pub fn fraction_of_async(&self) -> f64 {
+        self.twob / self.async_max
+    }
+}
+
+/// The whole figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Report {
+    /// PostgreSQL + Linkbench (one cell).
+    pub pg: EngineSeries,
+    /// RocksDB + YCSB-A per payload size.
+    pub rocks: Vec<(usize, EngineSeries)>,
+    /// Redis + YCSB-A per payload size.
+    pub redis: Vec<(usize, EngineSeries)>,
+}
+
+/// The payload sizes the paper sweeps for the key-value engines.
+pub fn payload_sizes() -> Vec<usize> {
+    vec![64, 256, 1024, 4096]
+}
+
+fn series(mut f: impl FnMut(LogKind) -> f64) -> EngineSeries {
+    EngineSeries {
+        dc: f(LogKind::Dc),
+        ull: f(LogKind::Ull),
+        twob: f(LogKind::TwoB),
+        async_max: f(LogKind::Async),
+    }
+}
+
+/// Regenerates Fig 9. `quick` runs a reduced op count for tests.
+pub fn run(quick: bool) -> Fig9Report {
+    let (pg_txns, kv_ops, redis_ops) = if quick {
+        (4_000, 4_000, 2_500)
+    } else {
+        (20_000, 20_000, 10_000)
+    };
+    let clients = 8;
+    let pg = series(|kind| pg_linkbench(kind, pg_txns, clients, 42));
+    let rocks = payload_sizes()
+        .into_iter()
+        .map(|p| (p, series(|kind| rocks_ycsb(kind, p, kv_ops, clients, 43))))
+        .collect();
+    let redis = payload_sizes()
+        .into_iter()
+        .map(|p| (p, series(|kind| redis_ycsb(kind, p, redis_ops, 44))))
+        .collect();
+    Fig9Report { pg, rocks, redis }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_shape_matches_paper() {
+        let report = run(true);
+
+        // PostgreSQL: 2B > ULL > DC, with gains inside the paper's bands.
+        let pg = report.pg;
+        assert!(pg.twob > pg.ull && pg.ull > pg.dc, "{pg:?}");
+        assert!((1.2..=3.0).contains(&pg.gain_vs_dc()), "{pg:?}");
+        assert!((1.1..=2.4).contains(&pg.gain_vs_ull()), "{pg:?}");
+        assert!(pg.fraction_of_async() <= 1.0, "{pg:?}");
+        assert!(pg.fraction_of_async() > 0.75, "{pg:?}");
+
+        // RocksDB: gains shrink as the payload grows (paper §V-C).
+        let first = report.rocks.first().unwrap().1;
+        let last = report.rocks.last().unwrap().1;
+        assert!(
+            first.gain_vs_dc() > last.gain_vs_dc(),
+            "64 B gain {} should exceed 4 KiB gain {}",
+            first.gain_vs_dc(),
+            last.gain_vs_dc()
+        );
+        for (payload, s) in &report.rocks {
+            assert!(
+                (1.2..=3.2).contains(&s.gain_vs_dc()),
+                "rocks payload {payload}: {s:?}"
+            );
+            assert!(s.twob > s.ull, "rocks payload {payload}: {s:?}");
+        }
+        // ULL's best showing over DC is RocksDB (paper: up to 1.5×), and it
+        // stays below the 2B gain.
+        let ull_gain = first.ull / first.dc;
+        assert!((1.1..=1.7).contains(&ull_gain), "{first:?}");
+
+        // Redis: DC and ULL are nearly identical (single-threaded event
+        // loop dominates), yet 2B still wins.
+        for (payload, s) in &report.redis {
+            let ull_vs_dc = s.ull / s.dc;
+            assert!(
+                (0.95..=1.25).contains(&ull_vs_dc),
+                "redis payload {payload} ull/dc {ull_vs_dc}: {s:?}"
+            );
+            assert!(s.twob > s.ull, "redis payload {payload}: {s:?}");
+            assert!(s.fraction_of_async() > 0.75, "redis payload {payload}: {s:?}");
+        }
+        // Redis gain also shrinks with payload.
+        let redis_first = report.redis.first().unwrap().1;
+        let redis_last = report.redis.last().unwrap().1;
+        assert!(redis_first.gain_vs_dc() >= redis_last.gain_vs_dc() * 0.98);
+    }
+}

@@ -1,0 +1,54 @@
+//! Experiment harness for the 2B-SSD reproduction.
+//!
+//! Each module regenerates one table or figure of the paper's evaluation
+//! (§V) as plain data structures, so the binaries can print them and the
+//! integration tests can assert their *shape* — who wins, by roughly what
+//! factor, and where the crossovers fall. EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I (spec) | [`mod@table1`] | `table1_spec` |
+//! | Fig 7 (latency vs size) | [`mod@fig7`] | `fig7_latency` |
+//! | Fig 8 (bandwidth vs size) | [`mod@fig8`] | `fig8_bandwidth` |
+//! | Fig 9 (application throughput) | [`mod@fig9`] | `fig9_apps` |
+//! | Fig 10 (heterogeneous memory) | [`mod@fig10`] | `fig10_hetero` |
+//! | §V-C commit-overhead claim | [`mod@commit_cost`] | `commit_cost` |
+//! | Design ablations | [`mod@ablations`] | `ablations` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod commit_cost;
+pub mod fig10;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+/// Prints a simple aligned table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}

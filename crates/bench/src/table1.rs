@@ -1,0 +1,28 @@
+//! Table I — the 2B-SSD specification.
+
+use twob_core::TwoBSpec;
+
+/// The rows of paper Table I for the default specification.
+pub fn rows() -> Vec<(String, String)> {
+    TwoBSpec::default().table_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_has_the_paper_fields() {
+        let rows = super::rows();
+        let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        for expected in [
+            "Host interface",
+            "Protocol",
+            "Capacity",
+            "SSD architecture",
+            "Storage medium",
+            "BA-buffer size",
+            "Max. entries of BA-buffer",
+        ] {
+            assert!(keys.contains(&expected), "missing row {expected}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Tiny dependency-free argument parsing for the CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    pub flags: HashMap<String, String>,
+}
+
+/// Errors from argument handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` without a value.
+    MissingValue(String),
+    /// A positional argument where a flag was expected.
+    UnexpectedPositional(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// The rejected value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given (try `twob help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument {arg:?} (flags are --key value)")
+            }
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} {value:?}: expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `args` (without the program name) into a [`Parsed`].
+///
+/// # Errors
+///
+/// See [`ArgError`].
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError> {
+    let mut iter = args.into_iter();
+    let command = iter.next().ok_or(ArgError::MissingCommand)?;
+    let mut flags = HashMap::new();
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(ArgError::UnexpectedPositional(arg));
+        };
+        let value = iter.next().ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+        flags.insert(key.to_string(), value);
+    }
+    Ok(Parsed { command, flags })
+}
+
+impl Parsed {
+    /// A string flag with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// An integer flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] for non-numeric input.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: key.to_string(),
+                value: v.clone(),
+                expected: "an unsigned integer",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = parse(strs(&["wal", "--scheme", "ba", "--commits", "100"])).unwrap();
+        assert_eq!(p.command, "wal");
+        assert_eq!(p.str_or("scheme", "x"), "ba");
+        assert_eq!(p.u64_or("commits", 0).unwrap(), 100);
+        assert_eq!(p.u64_or("absent", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(parse(strs(&[])).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            parse(strs(&["x", "--flag"])).unwrap_err(),
+            ArgError::MissingValue("flag".into())
+        );
+        assert_eq!(
+            parse(strs(&["x", "stray"])).unwrap_err(),
+            ArgError::UnexpectedPositional("stray".into())
+        );
+        let p = parse(strs(&["x", "--n", "abc"])).unwrap();
+        assert!(matches!(p.u64_or("n", 0), Err(ArgError::BadValue { .. })));
+    }
+}

@@ -1,0 +1,152 @@
+//! Error type for the 2B-SSD API.
+
+use std::error::Error;
+use std::fmt;
+
+use twob_pcie::BarError;
+use twob_ssd::SsdError;
+
+use crate::EntryId;
+
+/// Errors raised by the 2B-SSD host API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TwoBError {
+    /// The mapping table already holds an entry with this ID.
+    EntryInUse(EntryId),
+    /// No mapping entry with this ID exists.
+    EntryNotFound(EntryId),
+    /// The entry ID exceeds the table capacity (Table I: 8 entries).
+    EntryIdOutOfRange {
+        /// The offending ID.
+        eid: EntryId,
+        /// Table capacity.
+        max_entries: usize,
+    },
+    /// The requested BA-buffer range overlaps an existing entry's range.
+    BufferOverlap(EntryId),
+    /// The requested LBA range overlaps an existing entry's pinned range.
+    LbaOverlap(EntryId),
+    /// The request does not fit in the BA-buffer.
+    BufferOutOfRange {
+        /// Requested buffer offset.
+        offset: u64,
+        /// Requested length in bytes.
+        len: u64,
+        /// BA-buffer capacity in bytes.
+        capacity: u64,
+    },
+    /// Offsets and lengths of pins must be page-aligned.
+    Unaligned {
+        /// The unaligned value.
+        value: u64,
+    },
+    /// An access fell outside the entry's pinned window.
+    OutsideEntry {
+        /// The entry accessed.
+        eid: EntryId,
+        /// Relative offset of the access.
+        offset: u64,
+        /// Length of the access.
+        len: u64,
+    },
+    /// The caller lacks permission for the requested LBA range (the OS
+    /// blocks such pins, paper §III-C).
+    PermissionDenied {
+        /// First LBA of the denied range.
+        lba: u64,
+    },
+    /// A zero-length request.
+    EmptyRequest,
+    /// The device is powered off.
+    PoweredOff,
+    /// The block/back-end device failed.
+    Ssd(SsdError),
+    /// BAR/ATU address handling failed.
+    Bar(BarError),
+}
+
+impl fmt::Display for TwoBError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwoBError::EntryInUse(eid) => write!(f, "mapping entry {eid} already in use"),
+            TwoBError::EntryNotFound(eid) => write!(f, "no mapping entry {eid}"),
+            TwoBError::EntryIdOutOfRange { eid, max_entries } => {
+                write!(f, "{eid} exceeds table capacity of {max_entries}")
+            }
+            TwoBError::BufferOverlap(eid) => {
+                write!(f, "buffer range overlaps entry {eid}")
+            }
+            TwoBError::LbaOverlap(eid) => {
+                write!(f, "LBA range overlaps entry {eid}")
+            }
+            TwoBError::BufferOutOfRange {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "range [{offset}, {offset}+{len}) outside BA-buffer of {capacity} bytes"
+            ),
+            TwoBError::Unaligned { value } => {
+                write!(f, "{value} is not 4 KiB page-aligned")
+            }
+            TwoBError::OutsideEntry { eid, offset, len } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) outside the window pinned by {eid}"
+            ),
+            TwoBError::PermissionDenied { lba } => {
+                write!(f, "no permission to pin lba {lba}")
+            }
+            TwoBError::EmptyRequest => write!(f, "zero-length request"),
+            TwoBError::PoweredOff => write!(f, "device is powered off"),
+            TwoBError::Ssd(e) => write!(f, "ssd: {e}"),
+            TwoBError::Bar(e) => write!(f, "bar: {e}"),
+        }
+    }
+}
+
+impl Error for TwoBError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TwoBError::Ssd(e) => Some(e),
+            TwoBError::Bar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SsdError> for TwoBError {
+    fn from(e: SsdError) -> Self {
+        TwoBError::Ssd(e)
+    }
+}
+
+impl From<BarError> for TwoBError {
+    fn from(e: BarError) -> Self {
+        TwoBError::Bar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            TwoBError::EntryInUse(EntryId(1)),
+            TwoBError::EmptyRequest,
+            TwoBError::PermissionDenied { lba: 9 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error as _;
+        let e = TwoBError::from(SsdError::PoweredOff);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,291 @@
+//! A thread-safe handle to a 2B-SSD, for multi-threaded host simulations.
+//!
+//! The simulation itself is single-threaded virtual time; this wrapper
+//! lets *real* host threads (each advancing its own virtual client clock)
+//! share one device, exactly as the paper's multi-client experiments
+//! share the prototype. The mutex serializes model updates; virtual-time
+//! queuing still comes from the device's busy-until resources, so two
+//! threads issuing operations at overlapping virtual instants contend for
+//! the same simulated firmware cores and channels.
+//!
+//! **Determinism caveat**: with real threads, the order model updates are
+//! applied depends on OS scheduling, so virtual-time results are not
+//! bit-reproducible run to run (functional correctness is unaffected).
+//! For reproducible experiments use a single thread with
+//! `twob_workloads::ClientPool`, which multiplexes virtual clients
+//! deterministically.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use twob_ftl::Lba;
+use twob_sim::SimTime;
+use twob_ssd::{BlockRead, SsdError};
+
+use crate::{
+    ApiCompletion, DumpOutcome, EntryId, MappingEntry, MmioReadOutcome, MmioStoreOutcome,
+    RecoveryReport, TwoBError, TwoBSsd, TwoBStats,
+};
+
+/// A cloneable, `Send + Sync` handle to one [`TwoBSsd`].
+///
+/// # Example
+///
+/// ```rust
+/// use twob_core::{EntryId, SharedTwoBSsd, TwoBSsd};
+/// use twob_ftl::Lba;
+/// use twob_sim::SimTime;
+///
+/// let dev = SharedTwoBSsd::new(TwoBSsd::small_for_tests());
+/// let worker = dev.clone();
+/// let handle = std::thread::spawn(move || {
+///     worker.ba_pin(SimTime::ZERO, EntryId(0), 0, Lba(0), 1)
+/// });
+/// handle.join().unwrap()?;
+/// assert_eq!(dev.entries().len(), 1);
+/// # Ok::<(), twob_core::TwoBError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedTwoBSsd {
+    inner: Arc<Mutex<TwoBSsd>>,
+}
+
+impl SharedTwoBSsd {
+    /// Wraps a device.
+    pub fn new(dev: TwoBSsd) -> Self {
+        SharedTwoBSsd {
+            inner: Arc::new(Mutex::new(dev)),
+        }
+    }
+
+    /// Unwraps the device if this is the last handle; otherwise returns
+    /// the handle back.
+    pub fn try_into_inner(self) -> Result<TwoBSsd, SharedTwoBSsd> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mutex) => Ok(mutex.into_inner()),
+            Err(arc) => Err(SharedTwoBSsd { inner: arc }),
+        }
+    }
+
+    /// See [`TwoBSsd::ba_pin`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoBSsd::ba_pin`].
+    pub fn ba_pin(
+        &self,
+        now: SimTime,
+        eid: EntryId,
+        buffer_offset: u64,
+        lba: Lba,
+        pages: u32,
+    ) -> Result<ApiCompletion, TwoBError> {
+        self.inner.lock().ba_pin(now, eid, buffer_offset, lba, pages)
+    }
+
+    /// See [`TwoBSsd::ba_pin_auto`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoBSsd::ba_pin_auto`].
+    pub fn ba_pin_auto(
+        &self,
+        now: SimTime,
+        lba: Lba,
+        pages: u32,
+    ) -> Result<(EntryId, ApiCompletion), TwoBError> {
+        self.inner.lock().ba_pin_auto(now, lba, pages)
+    }
+
+    /// See [`TwoBSsd::ba_flush`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoBSsd::ba_flush`].
+    pub fn ba_flush(&self, now: SimTime, eid: EntryId) -> Result<ApiCompletion, TwoBError> {
+        self.inner.lock().ba_flush(now, eid)
+    }
+
+    /// See [`TwoBSsd::ba_sync`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoBSsd::ba_sync`].
+    pub fn ba_sync(&self, now: SimTime, eid: EntryId) -> Result<ApiCompletion, TwoBError> {
+        self.inner.lock().ba_sync(now, eid)
+    }
+
+    /// See [`TwoBSsd::ba_sync_range`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoBSsd::ba_sync_range`].
+    pub fn ba_sync_range(
+        &self,
+        now: SimTime,
+        eid: EntryId,
+        rel_offset: u64,
+        len: u64,
+    ) -> Result<ApiCompletion, TwoBError> {
+        self.inner.lock().ba_sync_range(now, eid, rel_offset, len)
+    }
+
+    /// See [`TwoBSsd::ba_entry_info`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoBSsd::ba_entry_info`].
+    pub fn ba_entry_info(&self, eid: EntryId) -> Result<MappingEntry, TwoBError> {
+        self.inner.lock().ba_entry_info(eid)
+    }
+
+    /// See [`TwoBSsd::ba_read_dma`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoBSsd::ba_read_dma`].
+    pub fn ba_read_dma(
+        &self,
+        now: SimTime,
+        eid: EntryId,
+        rel_offset: u64,
+        len: u64,
+    ) -> Result<MmioReadOutcome, TwoBError> {
+        self.inner.lock().ba_read_dma(now, eid, rel_offset, len)
+    }
+
+    /// See [`TwoBSsd::mmio_write`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoBSsd::mmio_write`].
+    pub fn mmio_write(
+        &self,
+        now: SimTime,
+        eid: EntryId,
+        rel_offset: u64,
+        data: &[u8],
+    ) -> Result<MmioStoreOutcome, TwoBError> {
+        self.inner.lock().mmio_write(now, eid, rel_offset, data)
+    }
+
+    /// See [`TwoBSsd::mmio_read`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoBSsd::mmio_read`].
+    pub fn mmio_read(
+        &self,
+        now: SimTime,
+        eid: EntryId,
+        rel_offset: u64,
+        len: u64,
+    ) -> Result<MmioReadOutcome, TwoBError> {
+        self.inner.lock().mmio_read(now, eid, rel_offset, len)
+    }
+
+    /// Block-path write; see [`twob_ssd::BlockDevice::write_pages`].
+    ///
+    /// # Errors
+    ///
+    /// As for the underlying device.
+    pub fn write_pages(&self, now: SimTime, lba: Lba, data: &[u8]) -> Result<SimTime, SsdError> {
+        use twob_ssd::BlockDevice as _;
+        self.inner.lock().write_pages(now, lba, data)
+    }
+
+    /// Block-path read; see [`twob_ssd::BlockDevice::read_pages`].
+    ///
+    /// # Errors
+    ///
+    /// As for the underlying device.
+    pub fn read_pages(&self, now: SimTime, lba: Lba, pages: u32) -> Result<BlockRead, SsdError> {
+        use twob_ssd::BlockDevice as _;
+        self.inner.lock().read_pages(now, lba, pages)
+    }
+
+    /// Block-path flush.
+    pub fn flush(&self, now: SimTime) -> SimTime {
+        use twob_ssd::BlockDevice as _;
+        self.inner.lock().flush(now)
+    }
+
+    /// Live mapping entries.
+    pub fn entries(&self) -> Vec<MappingEntry> {
+        self.inner.lock().entries()
+    }
+
+    /// Byte-path counters.
+    pub fn stats(&self) -> TwoBStats {
+        self.inner.lock().stats()
+    }
+
+    /// See [`TwoBSsd::power_loss`].
+    pub fn power_loss(&self, now: SimTime) -> DumpOutcome {
+        self.inner.lock().power_loss(now)
+    }
+
+    /// See [`TwoBSsd::power_on`].
+    pub fn power_on(&self, now: SimTime) -> RecoveryReport {
+        self.inner.lock().power_on(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_send_sync_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<SharedTwoBSsd>();
+    }
+
+    #[test]
+    fn threads_share_one_device() {
+        let dev = SharedTwoBSsd::new(TwoBSsd::small_for_tests());
+        // Pin disjoint windows from four threads concurrently.
+        let handles: Vec<_> = (0..4u8)
+            .map(|i| {
+                let dev = dev.clone();
+                std::thread::spawn(move || {
+                    let pin = dev
+                        .ba_pin(
+                            SimTime::ZERO,
+                            EntryId(i),
+                            u64::from(i) * 16384,
+                            Lba(u64::from(i) * 8),
+                            4,
+                        )
+                        .expect("pin");
+                    let store = dev
+                        .mmio_write(pin.complete_at, EntryId(i), 0, &[i + 1; 64])
+                        .expect("store");
+                    dev.ba_sync(store.retired_at, EntryId(i)).expect("sync")
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread");
+        }
+        assert_eq!(dev.entries().len(), 4);
+        let stats = dev.stats();
+        assert_eq!(stats.pins, 4);
+        assert_eq!(stats.mmio_stores, 4);
+        // Verify each window independently.
+        let t = SimTime::from_nanos(10_000_000);
+        for i in 0..4u8 {
+            let read = dev.mmio_read(t, EntryId(i), 0, 64).expect("read");
+            assert_eq!(read.data, vec![i + 1; 64]);
+        }
+    }
+
+    #[test]
+    fn try_into_inner_returns_last_handle() {
+        let dev = SharedTwoBSsd::new(TwoBSsd::small_for_tests());
+        let second = dev.clone();
+        let dev = dev.try_into_inner().expect_err("two handles live");
+        drop(second);
+        assert!(dev.try_into_inner().is_ok());
+    }
+}

@@ -1,0 +1,174 @@
+//! The 2B-SSD specification (paper Table I) and calibration constants.
+
+use serde::{Deserialize, Serialize};
+use twob_sim::SimDuration;
+
+/// The device specification of the 2B-SSD prototype, mirroring Table I of
+/// the paper, plus the calibration constants our model needs that the
+/// table leaves implicit.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_core::TwoBSpec;
+///
+/// let spec = TwoBSpec::default();
+/// assert_eq!(spec.ba_buffer_bytes, 8 << 20);
+/// assert_eq!(spec.max_entries, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoBSpec {
+    /// BA-buffer capacity in bytes (Table I: 8 MB).
+    pub ba_buffer_bytes: u64,
+    /// Maximum BA-buffer mapping entries (Table I: 8).
+    pub max_entries: usize,
+    /// Electrolytic back-up capacitors, in microfarads (Table I: 270 µF ×3).
+    pub capacitors_uf: f64,
+    /// Number of capacitors.
+    pub capacitor_count: u32,
+    /// Capacitor working voltage, volts.
+    pub capacitor_volts: f64,
+    /// Energy to dump one 4 KiB page to NAND during a power-loss dump,
+    /// joules (program + controller overhead).
+    pub dump_energy_per_page_j: f64,
+    /// Firmware overhead of one BA API call (ioctl + vendor-unique command
+    /// processing + table update).
+    pub api_overhead: SimDuration,
+    /// Read-DMA engine: setup cost (firmware programs the engine).
+    pub dma_setup: SimDuration,
+    /// Read-DMA engine: transfer bandwidth, bytes/s.
+    pub dma_bytes_per_sec: u64,
+    /// Read-DMA engine: completion interrupt delivery cost.
+    pub dma_interrupt: SimDuration,
+}
+
+impl Default for TwoBSpec {
+    fn default() -> Self {
+        TwoBSpec {
+            ba_buffer_bytes: 8 << 20,
+            max_entries: 8,
+            capacitors_uf: 270.0,
+            capacitor_count: 3,
+            capacitor_volts: 12.0,
+            dump_energy_per_page_j: 20e-6,
+            api_overhead: SimDuration::from_micros(2),
+            // Calibration (paper Fig 7(a)): BA_READ_DMA of 4 KiB ≈ 58 µs,
+            // flat below 2 KiB where MMIO reads win, 2.6× faster than MMIO
+            // at 4 KiB.
+            dma_setup: SimDuration::from_micros(55),
+            dma_bytes_per_sec: 2_500_000_000,
+            dma_interrupt: SimDuration::from_micros(1),
+        }
+    }
+}
+
+impl TwoBSpec {
+    /// A shrunken spec for fast tests: 64 KiB BA-buffer, weaker DMA setup,
+    /// same entry count. Pairs with `SsdConfig::base_2b().small()`.
+    pub fn small_for_tests() -> Self {
+        TwoBSpec {
+            ba_buffer_bytes: 64 << 10,
+            ..TwoBSpec::default()
+        }
+    }
+
+    /// Total energy stored in the back-up capacitors, joules
+    /// (`n × ½CV²`).
+    pub fn capacitor_energy_j(&self) -> f64 {
+        f64::from(self.capacitor_count)
+            * 0.5
+            * (self.capacitors_uf * 1e-6)
+            * self.capacitor_volts
+            * self.capacitor_volts
+    }
+
+    /// BA-buffer size in 4 KiB pages.
+    pub fn ba_buffer_pages(&self) -> u64 {
+        self.ba_buffer_bytes / 4096
+    }
+
+    /// Latency of a read-DMA transfer of `len` bytes.
+    pub fn dma_latency(&self, len: u64) -> SimDuration {
+        self.dma_setup
+            + SimDuration::from_nanos_f64(len as f64 * 1e9 / self.dma_bytes_per_sec as f64)
+            + self.dma_interrupt
+    }
+
+    /// Renders the paper's Table I as label/value rows.
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("Host interface".into(), "PCIe Gen.3 x4".into()),
+            ("Protocol".into(), "NVMe 1.2".into()),
+            ("Capacity".into(), "800 GB (simulated)".into()),
+            (
+                "SSD architecture".into(),
+                "Multiple channels/ways/cores".into(),
+            ),
+            ("Storage medium".into(), "Single-bit NAND flash".into()),
+            (
+                "Capacitance of electrolytic capacitors".into(),
+                format!(
+                    "{} uF x {}",
+                    self.capacitors_uf, self.capacitor_count
+                ),
+            ),
+            (
+                "BA-buffer size".into(),
+                format!("{} MB", self.ba_buffer_bytes >> 20),
+            ),
+            (
+                "Max. entries of BA-buffer".into(),
+                self.max_entries.to_string(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitor_energy_matches_table_i() {
+        let spec = TwoBSpec::default();
+        // 3 × ½ × 270 µF × 12 V² ≈ 58.3 mJ.
+        let e = spec.capacitor_energy_j();
+        assert!((0.055..0.062).contains(&e), "energy {e} J");
+    }
+
+    #[test]
+    fn capacitors_cover_full_buffer_dump() {
+        let spec = TwoBSpec::default();
+        // Dump = buffer pages + 1 header page.
+        let need = (spec.ba_buffer_pages() + 1) as f64 * spec.dump_energy_per_page_j;
+        assert!(
+            need < spec.capacitor_energy_j(),
+            "dump needs {need} J > budget {} J",
+            spec.capacitor_energy_j()
+        );
+    }
+
+    #[test]
+    fn dma_4k_matches_paper() {
+        let spec = TwoBSpec::default();
+        let us = spec.dma_latency(4096).as_micros_f64();
+        assert!((55.0..61.0).contains(&us), "4K DMA read {us:.1} us, paper ~58");
+    }
+
+    #[test]
+    fn dma_beats_mmio_from_2k_paper_threshold() {
+        let spec = TwoBSpec::default();
+        let timings = twob_pcie::PcieTimings::default();
+        // Below 2 KiB MMIO wins; at and above 2 KiB the DMA engine wins.
+        assert!(timings.mmio_read(1024) < spec.dma_latency(1024));
+        assert!(spec.dma_latency(2048) < timings.mmio_read(2048));
+        assert!(spec.dma_latency(4096) < timings.mmio_read(4096));
+    }
+
+    #[test]
+    fn table_rows_cover_table_i() {
+        let rows = TwoBSpec::default().table_rows();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().any(|(k, v)| k.contains("BA-buffer size") && v == "8 MB"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the mini engines.
+
+use std::error::Error;
+use std::fmt;
+
+use twob_wal::WalError;
+
+/// Errors raised by the mini database engines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DbError {
+    /// The write-ahead log failed.
+    Wal(WalError),
+    /// A WAL record from recovery could not be decoded as an engine
+    /// operation.
+    CorruptRecord {
+        /// Short description of the decode failure.
+        reason: String,
+    },
+    /// A transaction with no operations.
+    EmptyTransaction,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Wal(e) => write!(f, "wal: {e}"),
+            DbError::CorruptRecord { reason } => write!(f, "corrupt wal record: {reason}"),
+            DbError::EmptyTransaction => write!(f, "transaction has no operations"),
+        }
+    }
+}
+
+impl Error for DbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbError::Wal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WalError> for DbError {
+    fn from(e: WalError) -> Self {
+        DbError::Wal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            DbError::EmptyTransaction,
+            DbError::CorruptRecord {
+                reason: "short".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,754 @@
+//! A PostgreSQL-style relational mini engine with XLOG-like logging.
+
+use std::collections::{BTreeMap, HashMap};
+
+use twob_sim::SimTime;
+use twob_wal::{LogRecord, Lsn, WalStats, WalWriter};
+
+use crate::{DbError, EngineCosts};
+
+/// One operation inside a [`MiniPg`] transaction. The op set mirrors what
+/// Linkbench exercises: node and link CRUD plus the read queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgOp {
+    /// Insert a node row.
+    InsertNode {
+        /// Node ID.
+        id: u64,
+        /// Row payload.
+        data: Vec<u8>,
+    },
+    /// Update a node row.
+    UpdateNode {
+        /// Node ID.
+        id: u64,
+        /// New row payload.
+        data: Vec<u8>,
+    },
+    /// Delete a node row.
+    DeleteNode {
+        /// Node ID.
+        id: u64,
+    },
+    /// Insert or update a link row.
+    AddLink {
+        /// Source node.
+        from: u64,
+        /// Destination node.
+        to: u64,
+        /// Link payload.
+        data: Vec<u8>,
+    },
+    /// Delete a link row.
+    DeleteLink {
+        /// Source node.
+        from: u64,
+        /// Destination node.
+        to: u64,
+    },
+    /// Read one node row.
+    GetNode {
+        /// Node ID.
+        id: u64,
+    },
+    /// Range-read a node's outgoing links.
+    GetLinkList {
+        /// Source node.
+        id: u64,
+    },
+    /// Count a node's outgoing links.
+    CountLinks {
+        /// Source node.
+        id: u64,
+    },
+}
+
+impl PgOp {
+    /// Whether the op modifies state (and therefore must be logged).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            PgOp::InsertNode { .. }
+                | PgOp::UpdateNode { .. }
+                | PgOp::DeleteNode { .. }
+                | PgOp::AddLink { .. }
+                | PgOp::DeleteLink { .. }
+        )
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            PgOp::InsertNode { id, data } | PgOp::UpdateNode { id, data } => {
+                out.push(if matches!(self, PgOp::InsertNode { .. }) {
+                    1
+                } else {
+                    2
+                });
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            PgOp::DeleteNode { id } => {
+                out.push(3);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            PgOp::AddLink { from, to, data } => {
+                out.push(4);
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&to.to_le_bytes());
+                out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            PgOp::DeleteLink { from, to } => {
+                out.push(5);
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&to.to_le_bytes());
+            }
+            // Reads are never logged.
+            PgOp::GetNode { .. } | PgOp::GetLinkList { .. } | PgOp::CountLinks { .. } => {}
+        }
+    }
+
+    fn decode_from(bytes: &[u8]) -> Result<(PgOp, usize), DbError> {
+        let corrupt = |reason: &str| DbError::CorruptRecord {
+            reason: reason.to_string(),
+        };
+        let tag = *bytes.first().ok_or_else(|| corrupt("empty"))?;
+        let u64_at = |off: usize| -> Result<u64, DbError> {
+            bytes
+                .get(off..off + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .ok_or_else(|| corrupt("short u64"))
+        };
+        let u32_at = |off: usize| -> Result<u32, DbError> {
+            bytes
+                .get(off..off + 4)
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+                .ok_or_else(|| corrupt("short u32"))
+        };
+        match tag {
+            1 | 2 => {
+                let id = u64_at(1)?;
+                let len = u32_at(9)? as usize;
+                let data = bytes
+                    .get(13..13 + len)
+                    .ok_or_else(|| corrupt("short payload"))?
+                    .to_vec();
+                let op = if tag == 1 {
+                    PgOp::InsertNode { id, data }
+                } else {
+                    PgOp::UpdateNode { id, data }
+                };
+                Ok((op, 13 + len))
+            }
+            3 => Ok((PgOp::DeleteNode { id: u64_at(1)? }, 9)),
+            4 => {
+                let from = u64_at(1)?;
+                let to = u64_at(9)?;
+                let len = u32_at(17)? as usize;
+                let data = bytes
+                    .get(21..21 + len)
+                    .ok_or_else(|| corrupt("short payload"))?
+                    .to_vec();
+                Ok((PgOp::AddLink { from, to, data }, 21 + len))
+            }
+            5 => Ok((
+                PgOp::DeleteLink {
+                    from: u64_at(1)?,
+                    to: u64_at(9)?,
+                },
+                17,
+            )),
+            other => Err(corrupt(&format!("unknown op tag {other}"))),
+        }
+    }
+}
+
+/// Outcome of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnOutcome {
+    /// When the transaction completed under the WAL's commit mode.
+    pub commit_at: SimTime,
+    /// When its log record became durable (`None` for read-only
+    /// transactions, which log nothing).
+    pub durable_at: Option<SimTime>,
+    /// The commit record's LSN, if one was written.
+    pub lsn: Option<Lsn>,
+}
+
+/// A PostgreSQL-style engine: in-DRAM heap tables + a pluggable XLOG.
+///
+/// See the crate docs; the paper's experiments assume user data fits in
+/// DRAM, so tables live in memory and only the WAL reaches a device.
+pub struct MiniPg {
+    nodes: HashMap<u64, Vec<u8>>,
+    links: BTreeMap<(u64, u64), Vec<u8>>,
+    xlog: Box<dyn WalWriter>,
+    costs: EngineCosts,
+    txns: u64,
+    read_ops: u64,
+    write_ops: u64,
+    last_commit_lsn: Option<Lsn>,
+}
+
+impl std::fmt::Debug for MiniPg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiniPg")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("scheme", &self.xlog.scheme())
+            .finish()
+    }
+}
+
+impl MiniPg {
+    /// Creates an engine logging through `xlog`.
+    pub fn new(xlog: Box<dyn WalWriter>, costs: EngineCosts) -> Self {
+        MiniPg {
+            nodes: HashMap::new(),
+            links: BTreeMap::new(),
+            xlog,
+            costs,
+            txns: 0,
+            read_ops: 0,
+            write_ops: 0,
+            last_commit_lsn: None,
+        }
+    }
+
+    /// The logging scheme in use (for reporting).
+    pub fn scheme(&self) -> String {
+        self.xlog.scheme()
+    }
+
+    /// WAL counters.
+    pub fn wal_stats(&self) -> WalStats {
+        self.xlog.stats()
+    }
+
+    /// `(transactions, read ops, write ops)` executed.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (self.txns, self.read_ops, self.write_ops)
+    }
+
+    /// Current row for `id`, if any.
+    pub fn node(&self, id: u64) -> Option<&[u8]> {
+        self.nodes.get(&id).map(Vec::as_slice)
+    }
+
+    /// Current link payload, if any.
+    pub fn link(&self, from: u64, to: u64) -> Option<&[u8]> {
+        self.links.get(&(from, to)).map(Vec::as_slice)
+    }
+
+    /// Outgoing link count of `id`.
+    pub fn link_count(&self, id: u64) -> usize {
+        self.links
+            .range((id, 0)..=(id, u64::MAX))
+            .count()
+    }
+
+    fn apply(&mut self, op: &PgOp) {
+        match op {
+            PgOp::InsertNode { id, data } | PgOp::UpdateNode { id, data } => {
+                self.nodes.insert(*id, data.clone());
+            }
+            PgOp::DeleteNode { id } => {
+                self.nodes.remove(id);
+            }
+            PgOp::AddLink { from, to, data } => {
+                self.links.insert((*from, *to), data.clone());
+            }
+            PgOp::DeleteLink { from, to } => {
+                self.links.remove(&(*from, *to));
+            }
+            PgOp::GetNode { .. } | PgOp::GetLinkList { .. } | PgOp::CountLinks { .. } => {}
+        }
+    }
+
+    /// Executes one transaction: applies every op, logs the write ops as a
+    /// single commit record, and completes per the WAL's commit mode.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::EmptyTransaction`] or WAL failures.
+    pub fn run_txn(&mut self, now: SimTime, ops: &[PgOp]) -> Result<TxnOutcome, DbError> {
+        if ops.is_empty() {
+            return Err(DbError::EmptyTransaction);
+        }
+        let mut t = now + self.costs.txn_overhead;
+        let mut payload = Vec::new();
+        for op in ops {
+            if op.is_write() {
+                t += self.costs.write_cpu;
+                self.write_ops += 1;
+                op.encode_into(&mut payload);
+            } else {
+                t += self.costs.read_cpu;
+                self.read_ops += 1;
+            }
+            self.apply(op);
+        }
+        self.txns += 1;
+        if payload.is_empty() {
+            return Ok(TxnOutcome {
+                commit_at: t,
+                durable_at: None,
+                lsn: None,
+            });
+        }
+        let commit = self.xlog.append_commit(t, &payload)?;
+        self.last_commit_lsn = Some(commit.lsn);
+        Ok(TxnOutcome {
+            commit_at: commit.commit_at,
+            durable_at: commit.durable_at,
+            lsn: Some(commit.lsn),
+        })
+    }
+
+    /// Replays recovered WAL records into this (fresh) engine.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::CorruptRecord`] when a payload fails to decode.
+    pub fn apply_wal_records(&mut self, records: &[LogRecord]) -> Result<(), DbError> {
+        for record in records {
+            let mut cursor = 0usize;
+            while cursor < record.payload.len() {
+                let (op, used) = PgOp::decode_from(&record.payload[cursor..])?;
+                self.apply(&op);
+                cursor += used;
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint: a consistent snapshot of all tables plus the
+    /// LSN it covers. Recovery with [`MiniPg::restore`] then only replays
+    /// WAL records *after* this LSN — PostgreSQL's redo-point mechanism.
+    pub fn checkpoint(&self) -> PgSnapshot {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        let mut node_ids: Vec<&u64> = self.nodes.keys().collect();
+        node_ids.sort();
+        for id in node_ids {
+            let data = &self.nodes[id];
+            bytes.extend_from_slice(&id.to_le_bytes());
+            bytes.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(data);
+        }
+        bytes.extend_from_slice(&(self.links.len() as u64).to_le_bytes());
+        for ((from, to), data) in &self.links {
+            bytes.extend_from_slice(&from.to_le_bytes());
+            bytes.extend_from_slice(&to.to_le_bytes());
+            bytes.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(data);
+        }
+        let crc = twob_sim::crc32(&bytes);
+        PgSnapshot {
+            redo_lsn: self.last_commit_lsn,
+            bytes,
+            crc,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint plus the WAL tail: the
+    /// snapshot state first, then every record *after* the snapshot's
+    /// redo LSN.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::CorruptRecord`] for a corrupt snapshot or record.
+    pub fn restore(
+        snapshot: &PgSnapshot,
+        records: &[LogRecord],
+        xlog: Box<dyn WalWriter>,
+        costs: EngineCosts,
+    ) -> Result<Self, DbError> {
+        let corrupt = |reason: &str| DbError::CorruptRecord {
+            reason: reason.to_string(),
+        };
+        if twob_sim::crc32(&snapshot.bytes) != snapshot.crc {
+            return Err(corrupt("snapshot CRC mismatch"));
+        }
+        let mut pg = MiniPg::new(xlog, costs);
+        let bytes = &snapshot.bytes;
+        let mut cursor = 0usize;
+        let read_u64 = |cur: &mut usize| -> Result<u64, DbError> {
+            let v = bytes
+                .get(*cur..*cur + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .ok_or_else(|| corrupt("short u64"))?;
+            *cur += 8;
+            Ok(v)
+        };
+        let read_blob = |cur: &mut usize| -> Result<Vec<u8>, DbError> {
+            let len = bytes
+                .get(*cur..*cur + 4)
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+                .ok_or_else(|| corrupt("short len"))? as usize;
+            *cur += 4;
+            let blob = bytes
+                .get(*cur..*cur + len)
+                .ok_or_else(|| corrupt("short blob"))?
+                .to_vec();
+            *cur += len;
+            Ok(blob)
+        };
+        let node_count = read_u64(&mut cursor)?;
+        for _ in 0..node_count {
+            let id = read_u64(&mut cursor)?;
+            let data = read_blob(&mut cursor)?;
+            pg.nodes.insert(id, data);
+        }
+        let link_count = read_u64(&mut cursor)?;
+        for _ in 0..link_count {
+            let from = read_u64(&mut cursor)?;
+            let to = read_u64(&mut cursor)?;
+            let data = read_blob(&mut cursor)?;
+            pg.links.insert((from, to), data);
+        }
+        // Redo: only the tail past the checkpoint.
+        let tail: Vec<LogRecord> = records
+            .iter()
+            .filter(|r| snapshot.redo_lsn.is_none_or(|redo| r.lsn > redo))
+            .cloned()
+            .collect();
+        pg.apply_wal_records(&tail)?;
+        Ok(pg)
+    }
+}
+
+/// A consistent table snapshot plus the redo LSN it covers
+/// (see [`MiniPg::checkpoint`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PgSnapshot {
+    /// LSN of the newest commit the snapshot includes (`None` if nothing
+    /// was ever committed).
+    pub redo_lsn: Option<Lsn>,
+    bytes: Vec<u8>,
+    crc: u32,
+}
+
+impl PgSnapshot {
+    /// Snapshot size in bytes (what a backup would ship).
+    pub fn len_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twob_ssd::{Ssd, SsdConfig};
+    use twob_wal::{BlockWal, CommitMode, WalConfig};
+
+    fn engine(mode: CommitMode) -> MiniPg {
+        let wal = BlockWal::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            WalConfig::default(),
+            mode,
+        )
+        .unwrap();
+        MiniPg::new(Box::new(wal), EngineCosts::postgres())
+    }
+
+    #[test]
+    fn txn_applies_and_commits() {
+        let mut pg = engine(CommitMode::Sync);
+        let out = pg
+            .run_txn(
+                SimTime::ZERO,
+                &[
+                    PgOp::InsertNode {
+                        id: 1,
+                        data: b"alice".to_vec(),
+                    },
+                    PgOp::AddLink {
+                        from: 1,
+                        to: 2,
+                        data: b"follows".to_vec(),
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(pg.node(1), Some(&b"alice"[..]));
+        assert_eq!(pg.link(1, 2), Some(&b"follows"[..]));
+        assert_eq!(out.durable_at, Some(out.commit_at));
+        assert!(out.lsn.is_some());
+    }
+
+    #[test]
+    fn read_only_txn_logs_nothing() {
+        let mut pg = engine(CommitMode::Sync);
+        pg.run_txn(
+            SimTime::ZERO,
+            &[PgOp::InsertNode {
+                id: 7,
+                data: vec![1],
+            }],
+        )
+        .unwrap();
+        let before = pg.wal_stats().commits;
+        let out = pg
+            .run_txn(
+                SimTime::ZERO,
+                &[PgOp::GetNode { id: 7 }, PgOp::CountLinks { id: 7 }],
+            )
+            .unwrap();
+        assert_eq!(pg.wal_stats().commits, before);
+        assert_eq!(out.lsn, None);
+    }
+
+    #[test]
+    fn link_count_ranges_by_source() {
+        let mut pg = engine(CommitMode::Sync);
+        let mut ops = Vec::new();
+        for to in 0..5 {
+            ops.push(PgOp::AddLink {
+                from: 9,
+                to,
+                data: vec![],
+            });
+        }
+        ops.push(PgOp::AddLink {
+            from: 10,
+            to: 0,
+            data: vec![],
+        });
+        pg.run_txn(SimTime::ZERO, &ops).unwrap();
+        assert_eq!(pg.link_count(9), 5);
+        assert_eq!(pg.link_count(10), 1);
+        assert_eq!(pg.link_count(11), 0);
+    }
+
+    #[test]
+    fn delete_ops_remove_rows() {
+        let mut pg = engine(CommitMode::Sync);
+        pg.run_txn(
+            SimTime::ZERO,
+            &[
+                PgOp::InsertNode {
+                    id: 1,
+                    data: vec![1],
+                },
+                PgOp::AddLink {
+                    from: 1,
+                    to: 2,
+                    data: vec![],
+                },
+                PgOp::DeleteLink { from: 1, to: 2 },
+                PgOp::DeleteNode { id: 1 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(pg.node(1), None);
+        assert_eq!(pg.link(1, 2), None);
+    }
+
+    #[test]
+    fn empty_txn_rejected() {
+        let mut pg = engine(CommitMode::Sync);
+        assert_eq!(
+            pg.run_txn(SimTime::ZERO, &[]).unwrap_err(),
+            DbError::EmptyTransaction
+        );
+    }
+
+    #[test]
+    fn recovery_replays_committed_state() {
+        // Run a workload on a concrete (non-boxed) BlockWal so the device
+        // can be extracted and its log region replayed, exactly as a crash
+        // recovery would.
+        let cfg = WalConfig::default();
+        let wal = BlockWal::new(Ssd::new(SsdConfig::ull_ssd().small()), cfg, CommitMode::Sync)
+            .unwrap();
+        let mut t = SimTime::ZERO;
+        let mut wal = wal;
+        let workload: Vec<Vec<PgOp>> = (0..10u64)
+            .map(|i| {
+                vec![
+                    PgOp::InsertNode {
+                        id: i,
+                        data: format!("node-{i}").into_bytes(),
+                    },
+                    PgOp::AddLink {
+                        from: i,
+                        to: i + 1,
+                        data: vec![i as u8],
+                    },
+                ]
+            })
+            .chain(std::iter::once(vec![
+                PgOp::UpdateNode {
+                    id: 3,
+                    data: b"updated".to_vec(),
+                },
+                PgOp::DeleteNode { id: 5 },
+            ]))
+            .collect();
+        for txn in &workload {
+            let mut payload = Vec::new();
+            for op in txn {
+                op.encode_into(&mut payload);
+            }
+            t = wal.append_commit(t, &payload).unwrap().commit_at;
+        }
+        // "Crash": replay the log region into a fresh engine.
+        let mut dev = wal.into_device();
+        let replayed =
+            twob_wal::replay(&mut dev, t, cfg.region_base_lba, cfg.region_pages).unwrap();
+        assert_eq!(replayed.records.len(), 11);
+        let mut recovered = engine(CommitMode::Sync);
+        recovered.apply_wal_records(&replayed.records).unwrap();
+        assert_eq!(recovered.node(3), Some(&b"updated"[..]));
+        assert_eq!(recovered.node(5), None);
+        assert_eq!(recovered.node(7), Some(&b"node-7"[..]));
+        assert_eq!(recovered.link(4, 5), Some(&[4u8][..]));
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_only_the_tail() {
+        // Drive a concrete WAL so its records can be replayed.
+        let cfg = WalConfig::default();
+        let mut wal = BlockWal::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            cfg,
+            CommitMode::Sync,
+        )
+        .unwrap();
+        // Build the engine manually against the same record stream:
+        // 5 pre-checkpoint transactions, then 3 post-checkpoint ones.
+        let mut pg = engine(CommitMode::Sync);
+        let mut t = SimTime::ZERO;
+        let mk_txn = |i: u64| {
+            vec![PgOp::InsertNode {
+                id: i,
+                data: format!("v{i}").into_bytes(),
+            }]
+        };
+        for i in 0..5u64 {
+            let txn = mk_txn(i);
+            t = pg.run_txn(t, &txn).unwrap().commit_at;
+            let mut payload = Vec::new();
+            for op in &txn {
+                op.encode_into(&mut payload);
+            }
+            wal.append_commit(t, &payload).unwrap();
+        }
+        let snapshot = pg.checkpoint();
+        assert_eq!(snapshot.redo_lsn, Some(Lsn(4)));
+        assert!(snapshot.len_bytes() > 0);
+        for i in 5..8u64 {
+            let txn = mk_txn(i);
+            t = pg.run_txn(t, &txn).unwrap().commit_at;
+            let mut payload = Vec::new();
+            for op in &txn {
+                op.encode_into(&mut payload);
+            }
+            wal.append_commit(t, &payload).unwrap();
+        }
+        // Crash: restore from the snapshot plus the *full* record stream;
+        // restore must skip records the snapshot already covers.
+        let mut dev = wal.into_device();
+        let replayed =
+            twob_wal::replay(&mut dev, t, cfg.region_base_lba, cfg.region_pages).unwrap();
+        assert_eq!(replayed.records.len(), 8);
+        let recovered = MiniPg::restore(
+            &snapshot,
+            &replayed.records,
+            Box::new(
+                BlockWal::new(
+                    Ssd::new(SsdConfig::ull_ssd().small()),
+                    cfg,
+                    CommitMode::Sync,
+                )
+                .unwrap(),
+            ),
+            EngineCosts::postgres(),
+        )
+        .unwrap();
+        for i in 0..8u64 {
+            assert_eq!(
+                recovered.node(i),
+                Some(format!("v{i}").as_bytes()),
+                "node {i} missing after restore"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let mut pg = engine(CommitMode::Sync);
+        pg.run_txn(
+            SimTime::ZERO,
+            &[PgOp::InsertNode {
+                id: 1,
+                data: vec![1],
+            }],
+        )
+        .unwrap();
+        let mut snapshot = pg.checkpoint();
+        snapshot.bytes[4] ^= 0xFF;
+        let result = MiniPg::restore(
+            &snapshot,
+            &[],
+            Box::new(
+                BlockWal::new(
+                    Ssd::new(SsdConfig::ull_ssd().small()),
+                    WalConfig::default(),
+                    CommitMode::Sync,
+                )
+                .unwrap(),
+            ),
+            EngineCosts::postgres(),
+        );
+        assert!(matches!(result, Err(DbError::CorruptRecord { .. })));
+    }
+
+    #[test]
+    fn op_encode_decode_round_trips() {
+        let ops = [
+            PgOp::InsertNode {
+                id: 11,
+                data: vec![1, 2, 3],
+            },
+            PgOp::UpdateNode {
+                id: 12,
+                data: vec![],
+            },
+            PgOp::DeleteNode { id: 13 },
+            PgOp::AddLink {
+                from: 1,
+                to: 2,
+                data: vec![9; 50],
+            },
+            PgOp::DeleteLink { from: 3, to: 4 },
+        ];
+        let mut stream = Vec::new();
+        for op in &ops {
+            op.encode_into(&mut stream);
+        }
+        let mut cursor = 0;
+        for op in &ops {
+            let (decoded, used) = PgOp::decode_from(&stream[cursor..]).unwrap();
+            assert_eq!(&decoded, op);
+            cursor += used;
+        }
+        assert_eq!(cursor, stream.len());
+    }
+
+    #[test]
+    fn corrupt_record_rejected() {
+        let mut pg = engine(CommitMode::Sync);
+        let bad = LogRecord::new(twob_wal::Lsn(0), vec![99, 1, 2]);
+        assert!(matches!(
+            pg.apply_wal_records(&[bad]),
+            Err(DbError::CorruptRecord { .. })
+        ));
+    }
+}

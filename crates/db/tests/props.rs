@@ -1,0 +1,191 @@
+//! Property-based tests: every mini engine is observationally equivalent
+//! to a plain in-memory model, whatever the op sequence and whichever WAL
+//! backs it.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use twob_core::TwoBSsd;
+use twob_db::{EngineCosts, MiniPg, MiniRedis, MiniRocks, PgOp};
+use twob_sim::SimTime;
+use twob_ssd::{Ssd, SsdConfig};
+use twob_wal::{BaWal, BlockWal, CommitMode, WalConfig, WalWriter};
+
+fn block_wal() -> Box<dyn WalWriter> {
+    Box::new(
+        BlockWal::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            WalConfig::default(),
+            CommitMode::Sync,
+        )
+        .expect("wal"),
+    )
+}
+
+fn ba_wal() -> Box<dyn WalWriter> {
+    Box::new(BaWal::new(TwoBSsd::small_for_tests(), WalConfig::default(), 4).expect("wal"))
+}
+
+fn wal_for(ba: bool) -> Box<dyn WalWriter> {
+    if ba {
+        ba_wal()
+    } else {
+        block_wal()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put { key: u8, len: u8, fill: u8 },
+    Del { key: u8 },
+    Get { key: u8 },
+}
+
+fn kv_ops() -> impl Strategy<Value = Vec<KvOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u8..12, 1u8..=64, any::<u8>())
+                .prop_map(|(key, len, fill)| KvOp::Put { key, len, fill }),
+            1 => (0u8..12).prop_map(|key| KvOp::Del { key }),
+            2 => (0u8..12).prop_map(|key| KvOp::Get { key }),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MiniRocks ≡ HashMap under put/del/get, on both WAL schemes, with
+    /// rotations and compactions happening underneath.
+    #[test]
+    fn minirocks_matches_map(ops in kv_ops(), ba in any::<bool>()) {
+        let mut db = MiniRocks::with_memtable_budget(wal_for(ba), EngineCosts::rocksdb(), 600);
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        let mut t = SimTime::from_nanos(1_000_000);
+        for op in ops {
+            match op {
+                KvOp::Put { key, len, fill } => {
+                    let value = vec![fill; len as usize];
+                    t = db.put(t, vec![key], value.clone()).expect("put").commit_at;
+                    model.insert(key, value);
+                }
+                KvOp::Del { key } => {
+                    t = db.delete(t, vec![key]).expect("del").commit_at;
+                    model.remove(&key);
+                }
+                KvOp::Get { key } => {
+                    let (end, v) = db.get(t, &[key]);
+                    prop_assert_eq!(v.as_ref(), model.get(&key));
+                    t = end;
+                }
+            }
+        }
+        for (key, value) in &model {
+            let (_, v) = db.get(t, &[*key]);
+            prop_assert_eq!(v.as_ref(), Some(value));
+        }
+    }
+
+    /// MiniRedis ≡ HashMap under set/del/get, on both WAL schemes.
+    #[test]
+    fn miniredis_matches_map(ops in kv_ops(), ba in any::<bool>()) {
+        let wal = if ba {
+            Box::new(
+                BaWal::new_single(TwoBSsd::small_for_tests(), WalConfig::default(), 8)
+                    .expect("wal"),
+            ) as Box<dyn WalWriter>
+        } else {
+            block_wal()
+        };
+        let mut db = MiniRedis::new(wal, EngineCosts::redis());
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        let mut t = SimTime::from_nanos(1_000_000);
+        for op in ops {
+            match op {
+                KvOp::Put { key, len, fill } => {
+                    let value = vec![fill; len as usize];
+                    t = db.set(t, vec![key], value.clone()).expect("set").commit_at;
+                    model.insert(key, value);
+                }
+                KvOp::Del { key } => {
+                    t = db.del(t, vec![key]).expect("del").commit_at;
+                    model.remove(&key);
+                }
+                KvOp::Get { key } => {
+                    let (end, v) = db.get(t, &[key]);
+                    prop_assert_eq!(v.as_ref(), model.get(&key));
+                    t = end;
+                }
+            }
+        }
+        prop_assert_eq!(db.len(), model.len());
+    }
+
+    /// MiniPg ≡ two maps (nodes, links) under random transactions; also
+    /// checkpoint + restore with an empty tail reproduces the same state.
+    #[test]
+    fn minipg_matches_model_and_checkpoints(
+        txns in prop::collection::vec(
+            prop::collection::vec(
+                prop_oneof![
+                    3 => (0u64..16, 1u8..32, any::<u8>()).prop_map(|(id, len, fill)| {
+                        PgOp::InsertNode { id, data: vec![fill; len as usize] }
+                    }),
+                    2 => (0u64..16, 0u64..16, 1u8..16, any::<u8>())
+                        .prop_map(|(from, to, len, fill)| PgOp::AddLink {
+                            from, to, data: vec![fill; len as usize]
+                        }),
+                    1 => (0u64..16).prop_map(|id| PgOp::DeleteNode { id }),
+                    1 => (0u64..16, 0u64..16)
+                        .prop_map(|(from, to)| PgOp::DeleteLink { from, to }),
+                    1 => (0u64..16).prop_map(|id| PgOp::GetNode { id }),
+                ],
+                1..4,
+            ),
+            1..30,
+        ),
+        ba in any::<bool>()
+    ) {
+        let mut pg = MiniPg::new(wal_for(ba), EngineCosts::postgres());
+        let mut nodes: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut links: HashMap<(u64, u64), Vec<u8>> = HashMap::new();
+        let mut t = SimTime::from_nanos(1_000_000);
+        for txn in &txns {
+            t = pg.run_txn(t, txn).expect("txn").commit_at;
+            for op in txn {
+                match op {
+                    PgOp::InsertNode { id, data } | PgOp::UpdateNode { id, data } => {
+                        nodes.insert(*id, data.clone());
+                    }
+                    PgOp::DeleteNode { id } => {
+                        nodes.remove(id);
+                    }
+                    PgOp::AddLink { from, to, data } => {
+                        links.insert((*from, *to), data.clone());
+                    }
+                    PgOp::DeleteLink { from, to } => {
+                        links.remove(&(*from, *to));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (id, data) in &nodes {
+            prop_assert_eq!(pg.node(*id), Some(data.as_slice()));
+        }
+        for ((from, to), data) in &links {
+            prop_assert_eq!(pg.link(*from, *to), Some(data.as_slice()));
+        }
+        // Checkpoint and restore with no tail: identical state.
+        let snapshot = pg.checkpoint();
+        let restored = MiniPg::restore(&snapshot, &[], block_wal(), EngineCosts::postgres())
+            .expect("restore");
+        for (id, data) in &nodes {
+            prop_assert_eq!(restored.node(*id), Some(data.as_slice()));
+        }
+        for ((from, to), data) in &links {
+            prop_assert_eq!(restored.link(*from, *to), Some(data.as_slice()));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the mini-filesystem.
+
+use std::error::Error;
+use std::fmt;
+
+use twob_ssd::SsdError;
+use twob_wal::WalError;
+
+/// Errors raised by [`crate::MiniFs`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FsError {
+    /// No file with this name.
+    NotFound(String),
+    /// A file with this name already exists.
+    AlreadyExists(String),
+    /// The inode table is full.
+    NoFreeInode,
+    /// The data region has no free pages left.
+    NoFreeSpace,
+    /// A file name longer than the inode's name field.
+    NameTooLong {
+        /// The offending length.
+        len: usize,
+        /// The maximum supported.
+        max: usize,
+    },
+    /// A write or read beyond the maximum file size.
+    FileTooLarge {
+        /// Requested end offset.
+        end: u64,
+        /// Maximum file size in bytes.
+        max: u64,
+    },
+    /// A read past the end of the file.
+    ReadPastEof {
+        /// Requested end offset.
+        end: u64,
+        /// Current file size.
+        size: u64,
+    },
+    /// The on-disk state failed validation during recovery.
+    Corrupt(String),
+    /// The data device failed.
+    Device(SsdError),
+    /// The journal failed.
+    Journal(WalError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(name) => write!(f, "no such file: {name}"),
+            FsError::AlreadyExists(name) => write!(f, "file exists: {name}"),
+            FsError::NoFreeInode => write!(f, "inode table is full"),
+            FsError::NoFreeSpace => write!(f, "no free data pages"),
+            FsError::NameTooLong { len, max } => {
+                write!(f, "name of {len} bytes exceeds {max}")
+            }
+            FsError::FileTooLarge { end, max } => {
+                write!(f, "offset {end} exceeds the {max}-byte file limit")
+            }
+            FsError::ReadPastEof { end, size } => {
+                write!(f, "read to {end} past eof at {size}")
+            }
+            FsError::Corrupt(msg) => write!(f, "corrupt filesystem: {msg}"),
+            FsError::Device(e) => write!(f, "device: {e}"),
+            FsError::Journal(e) => write!(f, "journal: {e}"),
+        }
+    }
+}
+
+impl Error for FsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FsError::Device(e) => Some(e),
+            FsError::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SsdError> for FsError {
+    fn from(e: SsdError) -> Self {
+        FsError::Device(e)
+    }
+}
+
+impl From<WalError> for FsError {
+    fn from(e: WalError) -> Self {
+        FsError::Journal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            FsError::NotFound("x".into()),
+            FsError::NoFreeInode,
+            FsError::Corrupt("bad".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

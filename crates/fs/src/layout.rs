@@ -1,0 +1,142 @@
+//! On-disk layout of the mini-filesystem.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed page size (matches the devices).
+pub const PAGE: usize = 4096;
+
+/// The region layout of a formatted volume, all in page units:
+///
+/// ```text
+/// page 0                superblock
+/// pages 1..1+inode_pages   inode table
+/// next page              allocation bitmap (one page: up to 32768 pages)
+/// remainder              data region
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    /// Pages of inode table.
+    pub inode_pages: u32,
+    /// First page of the allocation bitmap.
+    pub bitmap_page: u64,
+    /// First data page.
+    pub data_base: u64,
+    /// Number of data pages.
+    pub data_pages: u64,
+}
+
+impl Layout {
+    /// Computes the layout for a volume of `capacity_pages`, with
+    /// `inode_pages` pages of inodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volume is too small to hold the metadata plus at
+    /// least one data page, or if the data region exceeds what a one-page
+    /// bitmap can track.
+    pub fn for_volume(capacity_pages: u64, inode_pages: u32) -> Layout {
+        let bitmap_page = 1 + u64::from(inode_pages);
+        let data_base = bitmap_page + 1;
+        assert!(
+            capacity_pages > data_base,
+            "volume of {capacity_pages} pages too small for metadata"
+        );
+        let data_pages = (capacity_pages - data_base).min((PAGE as u64) * 8);
+        Layout {
+            inode_pages,
+            bitmap_page,
+            data_base,
+            data_pages,
+        }
+    }
+
+    /// Total inodes the table holds.
+    pub fn inode_count(&self) -> u32 {
+        self.inode_pages * (PAGE as u32 / crate::inode::INODE_SIZE as u32)
+    }
+
+    /// Serializes the superblock page.
+    pub fn encode_superblock(&self, checkpoint_lsn: u64) -> Vec<u8> {
+        let mut page = Vec::with_capacity(PAGE);
+        page.extend_from_slice(b"2BFSMINI");
+        page.extend_from_slice(&self.inode_pages.to_le_bytes());
+        page.extend_from_slice(&self.bitmap_page.to_le_bytes());
+        page.extend_from_slice(&self.data_base.to_le_bytes());
+        page.extend_from_slice(&self.data_pages.to_le_bytes());
+        page.extend_from_slice(&checkpoint_lsn.to_le_bytes());
+        let crc = twob_sim::crc32(&page);
+        page.extend_from_slice(&crc.to_le_bytes());
+        page.resize(PAGE, 0);
+        page
+    }
+
+    /// Parses a superblock page, returning the layout and checkpoint LSN.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the magic or CRC is wrong.
+    pub fn decode_superblock(page: &[u8]) -> Result<(Layout, u64), String> {
+        if page.len() < PAGE || &page[0..8] != b"2BFSMINI" {
+            return Err("bad superblock magic".into());
+        }
+        let body_end = 8 + 4 + 8 + 8 + 8 + 8;
+        let stored = u32::from_le_bytes(page[body_end..body_end + 4].try_into().unwrap());
+        if twob_sim::crc32(&page[..body_end]) != stored {
+            return Err("superblock CRC mismatch".into());
+        }
+        let inode_pages = u32::from_le_bytes(page[8..12].try_into().unwrap());
+        let bitmap_page = u64::from_le_bytes(page[12..20].try_into().unwrap());
+        let data_base = u64::from_le_bytes(page[20..28].try_into().unwrap());
+        let data_pages = u64::from_le_bytes(page[28..36].try_into().unwrap());
+        let checkpoint_lsn = u64::from_le_bytes(page[36..44].try_into().unwrap());
+        Ok((
+            Layout {
+                inode_pages,
+                bitmap_page,
+                data_base,
+                data_pages,
+            },
+            checkpoint_lsn,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_partitions_the_volume() {
+        let l = Layout::for_volume(100, 4);
+        assert_eq!(l.bitmap_page, 5);
+        assert_eq!(l.data_base, 6);
+        assert_eq!(l.data_pages, 94);
+        assert!(l.inode_count() >= 16);
+    }
+
+    #[test]
+    fn superblock_round_trips() {
+        let l = Layout::for_volume(200, 2);
+        let page = l.encode_superblock(42);
+        let (decoded, lsn) = Layout::decode_superblock(&page).unwrap();
+        assert_eq!(decoded, l);
+        assert_eq!(lsn, 42);
+    }
+
+    #[test]
+    fn corrupt_superblock_rejected() {
+        let l = Layout::for_volume(200, 2);
+        let mut page = l.encode_superblock(0);
+        page[10] ^= 0xFF;
+        assert!(Layout::decode_superblock(&page).is_err());
+        page = l.encode_superblock(0);
+        page[0] = b'X';
+        assert!(Layout::decode_superblock(&page).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_volume_panics() {
+        let _ = Layout::for_volume(3, 4);
+    }
+}

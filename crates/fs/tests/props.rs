@@ -1,0 +1,184 @@
+//! Property-based tests: the filesystem behaves exactly like an in-memory
+//! map of byte vectors under arbitrary op sequences, and journal replay
+//! reconstructs the same view.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use twob_fs::{FsError, MiniFs};
+use twob_sim::SimTime;
+use twob_ssd::{Ssd, SsdConfig};
+use twob_wal::{BlockWal, CommitMode, WalConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { file: u8 },
+    Write { file: u8, offset: u16, len: u8, fill: u8 },
+    Delete { file: u8 },
+    Read { file: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (0u8..6).prop_map(|file| Op::Create { file }),
+        4 => (0u8..6, 0u16..12_000, 1u8..=255, any::<u8>())
+            .prop_map(|(file, offset, len, fill)| Op::Write { file, offset, len, fill }),
+        1 => (0u8..6).prop_map(|file| Op::Delete { file }),
+        3 => (0u8..6).prop_map(|file| Op::Read { file }),
+    ]
+}
+
+fn fs_under_test() -> MiniFs<Ssd, BlockWal<Ssd>> {
+    MiniFs::format(
+        Ssd::new(SsdConfig::ull_ssd().small()),
+        BlockWal::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            WalConfig::default(),
+            CommitMode::Sync,
+        )
+        .expect("journal"),
+        SimTime::ZERO,
+    )
+    .expect("format")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Oracle equivalence under arbitrary create/write/delete/read churn.
+    #[test]
+    fn fs_matches_map_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut fs = fs_under_test();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        let mut t = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Create { file } => {
+                    let name = format!("f{file}");
+                    match fs.create(t, &name) {
+                        Ok(end) => {
+                            prop_assert!(!model.contains_key(&name));
+                            model.insert(name, Vec::new());
+                            t = end;
+                        }
+                        Err(FsError::AlreadyExists(_)) => {
+                            prop_assert!(model.contains_key(&name));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Write { file, offset, len, fill } => {
+                    let name = format!("f{file}");
+                    let data = vec![fill; len as usize];
+                    match fs.write(t, &name, u64::from(offset), &data) {
+                        Ok(end) => {
+                            let content = model.get_mut(&name).expect("model has file");
+                            let need = offset as usize + data.len();
+                            if content.len() < need {
+                                content.resize(need, 0);
+                            }
+                            content[offset as usize..need].copy_from_slice(&data);
+                            t = end;
+                        }
+                        Err(FsError::NotFound(_)) => {
+                            prop_assert!(!model.contains_key(&name));
+                        }
+                        Err(FsError::NoFreeSpace) => {
+                            // Legal under heavy fill on the small volume.
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Delete { file } => {
+                    let name = format!("f{file}");
+                    match fs.delete(t, &name) {
+                        Ok(end) => {
+                            prop_assert!(model.remove(&name).is_some());
+                            t = end;
+                        }
+                        Err(FsError::NotFound(_)) => {
+                            prop_assert!(!model.contains_key(&name));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Read { file } => {
+                    let name = format!("f{file}");
+                    match model.get(&name) {
+                        Some(content) if !content.is_empty() => {
+                            let (data, end) = fs
+                                .read(t, &name, 0, content.len() as u64)
+                                .expect("mapped read");
+                            prop_assert_eq!(&data, content);
+                            t = end;
+                        }
+                        Some(_) => {
+                            prop_assert_eq!(fs.file_size(&name).expect("exists"), 0);
+                        }
+                        None => {
+                            prop_assert!(matches!(
+                                fs.read(t, &name, 0, 1),
+                                Err(FsError::NotFound(_))
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crash at the end of any op sequence: journal replay reconstructs
+    /// the live view (names, sizes, contents).
+    #[test]
+    fn journal_replay_reconstructs_view(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let journal_cfg = WalConfig::default();
+        let mut fs = fs_under_test();
+        let mut t = SimTime::ZERO;
+        for op in ops {
+            t = match op {
+                Op::Create { file } => fs.create(t, &format!("f{file}")).unwrap_or(t),
+                Op::Write { file, offset, len, fill } => fs
+                    .write(t, &format!("f{file}"), u64::from(offset), &vec![fill; len as usize])
+                    .unwrap_or(t),
+                Op::Delete { file } => fs.delete(t, &format!("f{file}")).unwrap_or(t),
+                Op::Read { .. } => t,
+            };
+        }
+        let names = fs.list();
+        let sizes: Vec<u64> = names.iter().map(|n| fs.file_size(n).unwrap()).collect();
+        let mut contents = Vec::new();
+        for (name, size) in names.iter().zip(&sizes) {
+            if *size > 0 {
+                contents.push(fs.read(t, name, 0, *size).expect("read").0);
+            } else {
+                contents.push(Vec::new());
+            }
+        }
+        // Crash and recover.
+        let (data_dev, journal) = fs.into_parts();
+        let mut journal_dev = journal.into_device();
+        let replayed = twob_wal::replay(
+            &mut journal_dev,
+            t,
+            journal_cfg.region_base_lba,
+            journal_cfg.region_pages,
+        )
+        .expect("journal replay");
+        let fresh_journal = BlockWal::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            journal_cfg,
+            CommitMode::Sync,
+        )
+        .expect("journal");
+        let (mut recovered, t2) =
+            MiniFs::mount(data_dev, fresh_journal, &replayed.records, t).expect("mount");
+        prop_assert_eq!(recovered.list(), names.clone());
+        for ((name, size), content) in names.iter().zip(&sizes).zip(&contents) {
+            prop_assert_eq!(recovered.file_size(name).expect("exists"), *size);
+            if *size > 0 {
+                let (data, _) = recovered.read(t2, name, 0, *size).expect("read");
+                prop_assert_eq!(&data, content);
+            }
+        }
+    }
+}

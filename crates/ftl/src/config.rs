@@ -1,0 +1,94 @@
+//! FTL configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the page-mapped FTL.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_ftl::FtlConfig;
+///
+/// let cfg = FtlConfig {
+///     over_provisioning: 0.10,
+///     ..FtlConfig::default()
+/// };
+/// assert!(cfg.over_provisioning > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FtlConfig {
+    /// Fraction of raw capacity hidden from the host for GC headroom
+    /// (enterprise drives use 7–28 %).
+    pub over_provisioning: f64,
+    /// GC starts when free blocks drop below this many.
+    pub gc_low_watermark: u32,
+    /// GC stops once this many blocks are free again.
+    pub gc_high_watermark: u32,
+    /// Erase blocks reserved at the end of the array, excluded from the
+    /// FTL entirely. The 2B-SSD recovery manager uses this area to dump the
+    /// BA-buffer on power loss (paper §III-A4).
+    pub reserved_blocks: u32,
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        FtlConfig {
+            over_provisioning: 0.07,
+            gc_low_watermark: 4,
+            gc_high_watermark: 8,
+            reserved_blocks: 0,
+        }
+    }
+}
+
+impl FtlConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..0.9).contains(&self.over_provisioning) {
+            return Err(format!(
+                "over_provisioning {} outside [0, 0.9)",
+                self.over_provisioning
+            ));
+        }
+        if self.gc_high_watermark < self.gc_low_watermark {
+            return Err("gc_high_watermark below gc_low_watermark".to_string());
+        }
+        if self.gc_low_watermark < 2 {
+            return Err("gc_low_watermark must be at least 2".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(FtlConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_inverted_watermarks() {
+        let cfg = FtlConfig {
+            gc_low_watermark: 8,
+            gc_high_watermark: 4,
+            ..FtlConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_silly_over_provisioning() {
+        let cfg = FtlConfig {
+            over_provisioning: 0.95,
+            ..FtlConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

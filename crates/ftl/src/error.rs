@@ -1,0 +1,93 @@
+//! Error type for FTL operations.
+
+use std::error::Error;
+use std::fmt;
+
+use twob_nand::NandError;
+
+use crate::ftl::Lba;
+
+/// Errors raised by the FTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FtlError {
+    /// The LBA lies beyond the exported capacity.
+    LbaOutOfRange {
+        /// The offending LBA.
+        lba: Lba,
+        /// Number of exported LBAs.
+        capacity: u64,
+    },
+    /// The LBA has never been written (or was trimmed).
+    Unmapped(Lba),
+    /// GC could not reclaim space: the drive is effectively full.
+    OutOfSpace,
+    /// The supplied buffer is not exactly one page.
+    WrongBufferLen {
+        /// Buffer length supplied by the caller.
+        got: usize,
+        /// Page size expected by the geometry.
+        expected: usize,
+    },
+    /// An underlying NAND operation failed.
+    Nand(NandError),
+    /// The configuration failed validation.
+    BadConfig(String),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::LbaOutOfRange { lba, capacity } => {
+                write!(f, "{lba} beyond exported capacity of {capacity} pages")
+            }
+            FtlError::Unmapped(lba) => write!(f, "{lba} is unmapped"),
+            FtlError::OutOfSpace => write!(f, "no reclaimable space left"),
+            FtlError::WrongBufferLen { got, expected } => {
+                write!(f, "buffer of {got} bytes where page size is {expected}")
+            }
+            FtlError::Nand(e) => write!(f, "nand: {e}"),
+            FtlError::BadConfig(msg) => write!(f, "invalid ftl config: {msg}"),
+        }
+    }
+}
+
+impl Error for FtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FtlError::Nand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NandError> for FtlError {
+    fn from(e: NandError) -> Self {
+        FtlError::Nand(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        for e in [
+            FtlError::Unmapped(Lba(4)),
+            FtlError::OutOfSpace,
+            FtlError::BadConfig("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn nand_error_is_source() {
+        use std::error::Error as _;
+        let g = twob_nand::NandGeometry::small_test();
+        let inner = NandError::BadBlock(g.block_addr(0, 0, 0, 0));
+        let e = FtlError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

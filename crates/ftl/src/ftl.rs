@@ -1,0 +1,622 @@
+//! The page-mapped FTL proper.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use twob_nand::{BlockAddr, NandArray, PageAddr, Ppa, TimingBreakdown};
+
+use crate::{FtlConfig, FtlError, FtlStats};
+
+/// A logical block address in 4 KiB-page units — the address the host sees.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Lba(pub u64);
+
+impl fmt::Display for Lba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lba:{}", self.0)
+    }
+}
+
+/// Identifies one die (channel, way) for scheduling affinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DieId {
+    /// Channel index.
+    pub channel: u32,
+    /// Way index within the channel.
+    pub way: u32,
+}
+
+/// Why a NAND operation happened, for accounting and scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FtlOpKind {
+    /// A read on behalf of the host.
+    HostRead,
+    /// A program on behalf of the host.
+    HostProgram,
+    /// A read relocating a valid page during GC.
+    GcRead,
+    /// A program relocating a valid page during GC.
+    GcProgram,
+    /// A block erase during GC.
+    Erase,
+}
+
+/// One physical NAND operation the FTL performed, with the resources it
+/// occupies. The SSD layer schedules `timing.die_time` on the die and
+/// `timing.xfer_time` on the channel bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtlIo {
+    /// The die the operation ran on.
+    pub die: DieId,
+    /// Die and bus occupancy.
+    pub timing: TimingBreakdown,
+    /// The reason for the operation.
+    pub kind: FtlOpKind,
+}
+
+/// The result of a host read through the FTL.
+#[derive(Debug, Clone)]
+pub struct FtlReadResult {
+    /// The page contents.
+    pub data: Vec<u8>,
+    /// NAND operations performed (a single host read).
+    pub ios: Vec<FtlIo>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpenBlock {
+    flat: u64,
+    next: u32,
+}
+
+/// A page-mapped FTL wrapping a [`NandArray`].
+///
+/// See the crate docs for the design; see [`FtlConfig`] for tunables.
+#[derive(Debug, Clone)]
+pub struct PageMappedFtl {
+    nand: NandArray,
+    cfg: FtlConfig,
+    /// LBA → flat PPA.
+    map: HashMap<Lba, Ppa>,
+    /// Flat PPA → LBA for valid pages (reverse map).
+    reverse: HashMap<u64, Lba>,
+    /// Valid-page count per flat block that currently holds data.
+    valid_count: HashMap<u64, u32>,
+    /// Pre-erased blocks per die, lowest erase count first.
+    free: Vec<BinaryHeap<Reverse<(u64, u64)>>>,
+    /// Open write frontier per die.
+    frontiers: Vec<Option<OpenBlock>>,
+    /// Blocks that are fully programmed (GC victim candidates).
+    full_blocks: Vec<u64>,
+    next_die: usize,
+    usable_blocks: u64,
+    exported_pages: u64,
+    host_reads: u64,
+    host_writes: u64,
+    gc_reads: u64,
+    gc_writes: u64,
+    erases: u64,
+    trims: u64,
+}
+
+impl PageMappedFtl {
+    /// Creates an FTL over `nand` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or leaves no usable blocks;
+    /// use [`FtlConfig::validate`] to check first.
+    pub fn new(nand: NandArray, cfg: FtlConfig) -> Self {
+        cfg.validate().expect("invalid FtlConfig");
+        let geom = nand.geometry();
+        let total_blocks = geom.blocks_total();
+        assert!(
+            u64::from(cfg.reserved_blocks) + u64::from(cfg.gc_high_watermark) + geom.dies_total()
+                < total_blocks,
+            "configuration leaves no usable blocks"
+        );
+        let usable_blocks = total_blocks - u64::from(cfg.reserved_blocks);
+        let dies = geom.dies_total() as usize;
+        let mut free: Vec<BinaryHeap<Reverse<(u64, u64)>>> =
+            (0..dies).map(|_| BinaryHeap::new()).collect();
+        for flat in 0..usable_blocks {
+            let addr = geom.block_from_flat(flat);
+            let die = (addr.channel * geom.ways_per_channel + addr.way) as usize;
+            free[die].push(Reverse((0, flat)));
+        }
+        // Headroom beyond the exported space: over-provisioning plus the
+        // frontier blocks and GC watermark, so GC always has room to move.
+        let raw_pages = usable_blocks * u64::from(geom.pages_per_block);
+        let headroom = (u64::from(cfg.gc_high_watermark) + geom.dies_total())
+            * u64::from(geom.pages_per_block);
+        let exported_pages = ((raw_pages as f64 * (1.0 - cfg.over_provisioning)) as u64)
+            .saturating_sub(headroom)
+            .max(1);
+        PageMappedFtl {
+            nand,
+            cfg,
+            map: HashMap::new(),
+            reverse: HashMap::new(),
+            valid_count: HashMap::new(),
+            free,
+            frontiers: vec![None; dies],
+            full_blocks: Vec::new(),
+            next_die: 0,
+            usable_blocks,
+            exported_pages,
+            host_reads: 0,
+            host_writes: 0,
+            gc_reads: 0,
+            gc_writes: 0,
+            erases: 0,
+            trims: 0,
+        }
+    }
+
+    /// Number of LBAs exported to the host.
+    pub fn exported_pages(&self) -> u64 {
+        self.exported_pages
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.nand.geometry().page_size as usize
+    }
+
+    /// The wrapped NAND array (read-only).
+    pub fn nand(&self) -> &NandArray {
+        &self.nand
+    }
+
+    /// Mutable access to the wrapped NAND array.
+    ///
+    /// Intended for the 2B-SSD recovery manager, which addresses the
+    /// reserved block region directly; normal I/O must go through the FTL.
+    pub fn nand_mut(&mut self) -> &mut NandArray {
+        &mut self.nand
+    }
+
+    /// Addresses of the reserved blocks excluded from the FTL, if any.
+    pub fn reserved_blocks(&self) -> Vec<BlockAddr> {
+        let geom = self.nand.geometry();
+        (self.usable_blocks..geom.blocks_total())
+            .map(|flat| geom.block_from_flat(flat))
+            .collect()
+    }
+
+    fn die_of(&self, flat_block: u64) -> DieId {
+        let addr = self.nand.geometry().block_from_flat(flat_block);
+        DieId {
+            channel: addr.channel,
+            way: addr.way,
+        }
+    }
+
+    fn die_index(&self, die: DieId) -> usize {
+        (die.channel * self.nand.geometry().ways_per_channel + die.way) as usize
+    }
+
+    fn check_lba(&self, lba: Lba) -> Result<(), FtlError> {
+        if lba.0 >= self.exported_pages {
+            Err(FtlError::LbaOutOfRange {
+                lba,
+                capacity: self.exported_pages,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn free_total(&self) -> usize {
+        self.free.iter().map(BinaryHeap::len).sum()
+    }
+
+    fn page_addr(&self, flat_block: u64, page: u32) -> PageAddr {
+        self.nand.geometry().block_from_flat(flat_block).page(page)
+    }
+
+    fn flat_ppa(&self, flat_block: u64, page: u32) -> u64 {
+        flat_block * u64::from(self.nand.geometry().pages_per_block) + u64::from(page)
+    }
+
+    fn invalidate(&mut self, ppa: Ppa) {
+        let pages_per_block = u64::from(self.nand.geometry().pages_per_block);
+        let block = ppa.0 / pages_per_block;
+        self.reverse.remove(&ppa.0);
+        if let Some(count) = self.valid_count.get_mut(&block) {
+            *count = count.saturating_sub(1);
+        }
+    }
+
+    /// Programs `data` into the next frontier page of some die, updating
+    /// maps. Returns the operations performed.
+    fn append_page(
+        &mut self,
+        lba: Lba,
+        data: &[u8],
+        gc: bool,
+        ios: &mut Vec<FtlIo>,
+    ) -> Result<(), FtlError> {
+        // Round-robin across dies so sequential writes overlap programs.
+        let dies = self.frontiers.len();
+        let start = self.next_die;
+        self.next_die = (self.next_die + 1) % dies;
+        let mut chosen = None;
+        for offset in 0..dies {
+            let die = (start + offset) % dies;
+            if self.frontiers[die].is_some() || !self.free[die].is_empty() {
+                chosen = Some(die);
+                break;
+            }
+        }
+        let die_idx = chosen.ok_or(FtlError::OutOfSpace)?;
+        if self.frontiers[die_idx].is_none() {
+            let Reverse((_, flat)) = self.free[die_idx].pop().expect("checked non-empty");
+            self.frontiers[die_idx] = Some(OpenBlock { flat, next: 0 });
+            self.valid_count.insert(flat, 0);
+        }
+        let open = self.frontiers[die_idx].expect("frontier just ensured");
+        let addr = self.page_addr(open.flat, open.next);
+        let result = self.nand.program_page(addr, data)?;
+        let die = self.die_of(open.flat);
+        ios.push(FtlIo {
+            die,
+            timing: result.timing,
+            kind: if gc {
+                FtlOpKind::GcProgram
+            } else {
+                FtlOpKind::HostProgram
+            },
+        });
+        if gc {
+            self.gc_writes += 1;
+        } else {
+            self.host_writes += 1;
+        }
+        let new_ppa = Ppa(self.flat_ppa(open.flat, open.next));
+        if let Some(old) = self.map.insert(lba, new_ppa) {
+            self.invalidate(old);
+        }
+        self.reverse.insert(new_ppa.0, lba);
+        *self.valid_count.entry(open.flat).or_insert(0) += 1;
+        // Advance or retire the frontier.
+        let next = open.next + 1;
+        if next == self.nand.geometry().pages_per_block {
+            self.frontiers[die_idx] = None;
+            self.full_blocks.push(open.flat);
+        } else {
+            self.frontiers[die_idx] = Some(OpenBlock {
+                flat: open.flat,
+                next,
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs greedy GC until the free pool reaches the high watermark.
+    fn collect_garbage(&mut self, ios: &mut Vec<FtlIo>) -> Result<(), FtlError> {
+        while self.free_total() < self.cfg.gc_high_watermark as usize {
+            // Victim: full block with fewest valid pages.
+            let victim_pos = self
+                .full_blocks
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &flat)| self.valid_count.get(&flat).copied().unwrap_or(0))
+                .map(|(pos, _)| pos);
+            let Some(pos) = victim_pos else {
+                return Err(FtlError::OutOfSpace);
+            };
+            let victim = self.full_blocks.swap_remove(pos);
+            let pages_per_block = self.nand.geometry().pages_per_block;
+            // A victim with every page still valid cannot free space.
+            if self.valid_count.get(&victim).copied().unwrap_or(0) == pages_per_block {
+                self.full_blocks.push(victim);
+                return Err(FtlError::OutOfSpace);
+            }
+            // Relocate valid pages.
+            for page in 0..pages_per_block {
+                let ppa = self.flat_ppa(victim, page);
+                let Some(&lba) = self.reverse.get(&ppa) else {
+                    continue;
+                };
+                let addr = self.page_addr(victim, page);
+                let read = self.nand.read_page(addr)?;
+                self.gc_reads += 1;
+                ios.push(FtlIo {
+                    die: self.die_of(victim),
+                    timing: read.timing,
+                    kind: FtlOpKind::GcRead,
+                });
+                self.append_page(lba, &read.data, true, ios)?;
+            }
+            // Erase and return to the free pool.
+            let addr = self.nand.geometry().block_from_flat(victim);
+            let erase = self.nand.erase_block(addr)?;
+            self.erases += 1;
+            ios.push(FtlIo {
+                die: self.die_of(victim),
+                timing: erase,
+                kind: FtlOpKind::Erase,
+            });
+            self.valid_count.remove(&victim);
+            let die_idx = self.die_index(self.die_of(victim));
+            let wear = self.nand.erase_count_of(addr);
+            self.free[die_idx].push(Reverse((wear, victim)));
+        }
+        Ok(())
+    }
+
+    /// Writes one page at `lba`.
+    ///
+    /// Returns the physical NAND operations performed, including any GC
+    /// work this write triggered.
+    ///
+    /// # Errors
+    ///
+    /// - [`FtlError::LbaOutOfRange`] beyond the exported capacity.
+    /// - [`FtlError::WrongBufferLen`] if `data` is not exactly one page.
+    /// - [`FtlError::OutOfSpace`] if GC cannot reclaim room.
+    pub fn write(&mut self, lba: Lba, data: &[u8]) -> Result<Vec<FtlIo>, FtlError> {
+        self.check_lba(lba)?;
+        if data.len() != self.page_size() {
+            return Err(FtlError::WrongBufferLen {
+                got: data.len(),
+                expected: self.page_size(),
+            });
+        }
+        let mut ios = Vec::with_capacity(1);
+        self.append_page(lba, data, false, &mut ios)?;
+        if self.free_total() < self.cfg.gc_low_watermark as usize {
+            self.collect_garbage(&mut ios)?;
+        }
+        Ok(ios)
+    }
+
+    /// Reads the page at `lba`.
+    ///
+    /// # Errors
+    ///
+    /// - [`FtlError::LbaOutOfRange`] beyond the exported capacity.
+    /// - [`FtlError::Unmapped`] if the LBA was never written or was trimmed.
+    pub fn read(&mut self, lba: Lba) -> Result<FtlReadResult, FtlError> {
+        self.check_lba(lba)?;
+        let ppa = *self.map.get(&lba).ok_or(FtlError::Unmapped(lba))?;
+        let addr = self.nand.geometry().page_from_ppa(ppa);
+        let result = self.nand.read_page(addr)?;
+        self.host_reads += 1;
+        let pages_per_block = u64::from(self.nand.geometry().pages_per_block);
+        let die = self.die_of(ppa.0 / pages_per_block);
+        Ok(FtlReadResult {
+            data: result.data,
+            ios: vec![FtlIo {
+                die,
+                timing: result.timing,
+                kind: FtlOpKind::HostRead,
+            }],
+        })
+    }
+
+    /// Returns `true` if `lba` currently maps to data.
+    pub fn is_mapped(&self, lba: Lba) -> bool {
+        self.map.contains_key(&lba)
+    }
+
+    /// Discards the mapping for `lba`, marking its page stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LbaOutOfRange`] beyond the exported capacity;
+    /// trimming an unmapped LBA is a no-op.
+    pub fn trim(&mut self, lba: Lba) -> Result<(), FtlError> {
+        self.check_lba(lba)?;
+        if let Some(ppa) = self.map.remove(&lba) {
+            self.invalidate(ppa);
+            self.trims += 1;
+        }
+        Ok(())
+    }
+
+    /// Current statistics, including write amplification.
+    pub fn stats(&self) -> FtlStats {
+        FtlStats {
+            host_reads: self.host_reads,
+            host_writes: self.host_writes,
+            gc_reads: self.gc_reads,
+            gc_writes: self.gc_writes,
+            erases: self.erases,
+            trims: self.trims,
+            free_blocks: self.free_total() as u64,
+            mapped_lbas: self.map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twob_nand::{FlashClass, NandGeometry};
+
+    fn small_ftl(op: f64) -> PageMappedFtl {
+        let geom = NandGeometry::small_test();
+        let nand = NandArray::new(geom, FlashClass::LowLatencySlc.timing());
+        PageMappedFtl::new(
+            nand,
+            FtlConfig {
+                over_provisioning: op,
+                gc_low_watermark: 3,
+                gc_high_watermark: 5,
+                reserved_blocks: 0,
+            },
+        )
+    }
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; 4096]
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut ftl = small_ftl(0.25);
+        ftl.write(Lba(0), &page_of(0x11)).unwrap();
+        ftl.write(Lba(1), &page_of(0x22)).unwrap();
+        assert_eq!(ftl.read(Lba(0)).unwrap().data, page_of(0x11));
+        assert_eq!(ftl.read(Lba(1)).unwrap().data, page_of(0x22));
+    }
+
+    #[test]
+    fn overwrite_returns_fresh_data() {
+        let mut ftl = small_ftl(0.25);
+        ftl.write(Lba(7), &page_of(0x01)).unwrap();
+        ftl.write(Lba(7), &page_of(0x02)).unwrap();
+        assert_eq!(ftl.read(Lba(7)).unwrap().data, page_of(0x02));
+    }
+
+    #[test]
+    fn unmapped_read_errors() {
+        let mut ftl = small_ftl(0.25);
+        assert_eq!(ftl.read(Lba(5)).unwrap_err(), FtlError::Unmapped(Lba(5)));
+    }
+
+    #[test]
+    fn out_of_range_lba_rejected() {
+        let mut ftl = small_ftl(0.25);
+        let beyond = Lba(ftl.exported_pages());
+        assert!(matches!(
+            ftl.write(beyond, &page_of(0)),
+            Err(FtlError::LbaOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ftl.read(beyond),
+            Err(FtlError::LbaOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_len_rejected() {
+        let mut ftl = small_ftl(0.25);
+        assert!(matches!(
+            ftl.write(Lba(0), &[0u8; 64]),
+            Err(FtlError::WrongBufferLen { .. })
+        ));
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut ftl = small_ftl(0.25);
+        ftl.write(Lba(3), &page_of(9)).unwrap();
+        ftl.trim(Lba(3)).unwrap();
+        assert!(!ftl.is_mapped(Lba(3)));
+        assert!(matches!(ftl.read(Lba(3)), Err(FtlError::Unmapped(_))));
+        // Trimming again is a no-op.
+        ftl.trim(Lba(3)).unwrap();
+    }
+
+    #[test]
+    fn sequential_writes_stripe_across_dies() {
+        let mut ftl = small_ftl(0.25);
+        let io_a = ftl.write(Lba(0), &page_of(1)).unwrap();
+        let io_b = ftl.write(Lba(1), &page_of(2)).unwrap();
+        assert_ne!(io_a[0].die, io_b[0].die);
+    }
+
+    #[test]
+    fn gc_reclaims_space_under_overwrite_churn() {
+        let mut ftl = small_ftl(0.25);
+        let lbas = ftl.exported_pages().min(64);
+        // Write far more pages than the 512-page array holds; without GC the
+        // free pool would be exhausted partway through.
+        for round in 0u8..12 {
+            for lba in 0..lbas {
+                ftl.write(Lba(lba), &page_of(round.wrapping_mul(31).wrapping_add(lba as u8)))
+                    .unwrap();
+            }
+        }
+        let stats = ftl.stats();
+        assert!(stats.erases > 0, "GC never ran");
+        // Every LBA must still read back its last-written data.
+        for lba in 0..lbas {
+            assert_eq!(
+                ftl.read(Lba(lba)).unwrap().data,
+                page_of(11u8.wrapping_mul(31).wrapping_add(lba as u8))
+            );
+        }
+    }
+
+    #[test]
+    fn waf_is_one_without_churn() {
+        let mut ftl = small_ftl(0.25);
+        for lba in 0..8 {
+            ftl.write(Lba(lba), &page_of(lba as u8)).unwrap();
+        }
+        let stats = ftl.stats();
+        assert_eq!(stats.gc_writes, 0);
+        assert!((stats.waf() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn waf_exceeds_one_under_churn() {
+        let mut ftl = small_ftl(0.25);
+        let lbas = ftl.exported_pages();
+        // Fill the whole exported space with cold data once...
+        for lba in 0..lbas {
+            ftl.write(Lba(lba), &page_of(lba as u8)).unwrap();
+        }
+        // ...then interleave rewrites of a hot subset with slow rewrites of
+        // cold LBAs, so every block mixes soon-stale and long-valid pages
+        // and GC must relocate the latter.
+        let cold_span = lbas - 16;
+        for i in 0u64..1200 {
+            let lba = if i % 2 == 0 {
+                Lba(i / 2 % 16)
+            } else {
+                Lba(16 + (i / 7) % cold_span)
+            };
+            ftl.write(lba, &page_of(i as u8)).unwrap();
+        }
+        let stats = ftl.stats();
+        assert!(stats.gc_writes > 0, "GC never relocated a page: {stats}");
+        assert!(stats.waf() > 1.0);
+    }
+
+    #[test]
+    fn reserved_blocks_are_not_allocated() {
+        let geom = NandGeometry::small_test();
+        let nand = NandArray::new(geom, FlashClass::LowLatencySlc.timing());
+        let ftl = PageMappedFtl::new(
+            nand,
+            FtlConfig {
+                over_provisioning: 0.25,
+                gc_low_watermark: 3,
+                gc_high_watermark: 5,
+                reserved_blocks: 2,
+            },
+        );
+        let reserved = ftl.reserved_blocks();
+        assert_eq!(reserved.len(), 2);
+        // Reserved blocks are the tail of the flat order.
+        assert_eq!(
+            reserved[0],
+            geom.block_from_flat(geom.blocks_total() - 2)
+        );
+    }
+
+    #[test]
+    fn ios_report_gc_activity() {
+        let mut ftl = small_ftl(0.25);
+        let lbas = ftl.exported_pages().min(64);
+        let mut saw_gc = false;
+        for round in 0u8..8 {
+            for lba in 0..lbas {
+                let ios = ftl.write(Lba(lba), &page_of(round)).unwrap();
+                if ios.iter().any(|io| io.kind == FtlOpKind::Erase) {
+                    saw_gc = true;
+                }
+            }
+        }
+        assert!(saw_gc, "no write ever reported GC ops");
+    }
+}

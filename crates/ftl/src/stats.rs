@@ -1,0 +1,90 @@
+//! FTL statistics and write-amplification accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters exported by the FTL.
+///
+/// The headline figure is [`FtlStats::waf`], the write amplification factor:
+/// physical programs divided by host programs. The paper argues (§IV-A) that
+/// BA-WAL reduces WAF because each log page is programmed once, full, instead
+/// of once per partial rewrite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Host-initiated page reads.
+    pub host_reads: u64,
+    /// Host-initiated page programs.
+    pub host_writes: u64,
+    /// GC relocation reads.
+    pub gc_reads: u64,
+    /// GC relocation programs.
+    pub gc_writes: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// TRIM operations that unmapped an LBA.
+    pub trims: u64,
+    /// Blocks currently in the free pool.
+    pub free_blocks: u64,
+    /// LBAs currently mapped.
+    pub mapped_lbas: u64,
+}
+
+impl FtlStats {
+    /// Write amplification factor: `(host + GC programs) / host programs`.
+    /// Returns 1.0 when nothing has been written.
+    pub fn waf(&self) -> f64 {
+        if self.host_writes == 0 {
+            1.0
+        } else {
+            (self.host_writes + self.gc_writes) as f64 / self.host_writes as f64
+        }
+    }
+
+    /// Total physical programs.
+    pub fn total_programs(&self) -> u64 {
+        self.host_writes + self.gc_writes
+    }
+}
+
+impl fmt::Display for FtlStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "host r/w {}/{}, gc r/w {}/{}, erases {}, WAF {:.3}",
+            self.host_reads,
+            self.host_writes,
+            self.gc_reads,
+            self.gc_writes,
+            self.erases,
+            self.waf()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waf_of_idle_ftl_is_one() {
+        assert_eq!(FtlStats::default().waf(), 1.0);
+    }
+
+    #[test]
+    fn waf_counts_gc() {
+        let stats = FtlStats {
+            host_writes: 100,
+            gc_writes: 50,
+            ..FtlStats::default()
+        };
+        assert!((stats.waf() - 1.5).abs() < 1e-12);
+        assert_eq!(stats.total_programs(), 150);
+    }
+
+    #[test]
+    fn display_mentions_waf() {
+        let s = FtlStats::default().to_string();
+        assert!(s.contains("WAF"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests: the FTL behaves exactly like a flat map of pages
+//! under arbitrary write/trim/read churn, GC included.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use twob_ftl::{FtlConfig, FtlError, Lba, PageMappedFtl};
+use twob_nand::{FlashClass, NandArray, NandGeometry};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lba: u64, fill: u8 },
+    Trim { lba: u64 },
+    Read { lba: u64 },
+}
+
+fn op_strategy(lbas: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..lbas, any::<u8>()).prop_map(|(lba, fill)| Op::Write { lba, fill }),
+        1 => (0..lbas).prop_map(|lba| Op::Trim { lba }),
+        2 => (0..lbas).prop_map(|lba| Op::Read { lba }),
+    ]
+}
+
+fn fresh_ftl() -> PageMappedFtl {
+    let geom = NandGeometry::small_test();
+    let nand = NandArray::new(geom, FlashClass::LowLatencySlc.timing());
+    PageMappedFtl::new(
+        nand,
+        FtlConfig {
+            over_provisioning: 0.25,
+            gc_low_watermark: 3,
+            gc_high_watermark: 5,
+            reserved_blocks: 0,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The FTL is observationally a `HashMap<Lba, u8>` — even while GC
+    /// relocates pages underneath.
+    #[test]
+    fn ftl_matches_flat_map(ops in prop::collection::vec(op_strategy(48), 1..400)) {
+        let mut ftl = fresh_ftl();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Write { lba, fill } => {
+                    ftl.write(Lba(lba), &vec![fill; 4096]).expect("write");
+                    model.insert(lba, fill);
+                }
+                Op::Trim { lba } => {
+                    ftl.trim(Lba(lba)).expect("trim");
+                    model.remove(&lba);
+                }
+                Op::Read { lba } => match (model.get(&lba), ftl.read(Lba(lba))) {
+                    (Some(&fill), Ok(read)) => {
+                        prop_assert!(read.data.iter().all(|&b| b == fill));
+                    }
+                    (None, Err(FtlError::Unmapped(_))) => {}
+                    (expected, got) => {
+                        return Err(TestCaseError::fail(format!(
+                            "model {expected:?}, ftl {:?}",
+                            got.map(|r| r.data[0])
+                        )));
+                    }
+                },
+            }
+        }
+        // Final sweep: every mapped LBA reads back its model value.
+        for (lba, fill) in &model {
+            let read = ftl.read(Lba(*lba)).expect("final read");
+            prop_assert!(read.data.iter().all(|b| b == fill));
+        }
+        prop_assert_eq!(ftl.stats().mapped_lbas, model.len() as u64);
+    }
+
+    /// WAF is always ≥ 1 and the free pool never dips below the GC low
+    /// watermark after a write returns.
+    #[test]
+    fn gc_maintains_watermark(ops in prop::collection::vec((0u64..48, any::<u8>()), 1..500)) {
+        let mut ftl = fresh_ftl();
+        for (lba, fill) in ops {
+            ftl.write(Lba(lba), &vec![fill; 4096]).expect("write");
+            let stats = ftl.stats();
+            prop_assert!(stats.waf() >= 1.0);
+            prop_assert!(
+                stats.free_blocks >= 3,
+                "free pool {} below watermark", stats.free_blocks
+            );
+        }
+    }
+
+    /// Out-of-range LBAs are always rejected, never panicking.
+    #[test]
+    fn out_of_range_is_graceful(offset in 0u64..1_000_000) {
+        let mut ftl = fresh_ftl();
+        let beyond = Lba(ftl.exported_pages() + offset);
+        let write_rejected = matches!(
+            ftl.write(beyond, &vec![0u8; 4096]),
+            Err(FtlError::LbaOutOfRange { .. })
+        );
+        let read_rejected = matches!(ftl.read(beyond), Err(FtlError::LbaOutOfRange { .. }));
+        let trim_rejected = matches!(ftl.trim(beyond), Err(FtlError::LbaOutOfRange { .. }));
+        prop_assert!(write_rejected);
+        prop_assert!(read_rejected);
+        prop_assert!(trim_rejected);
+    }
+}

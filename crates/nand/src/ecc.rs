@@ -1,0 +1,173 @@
+//! Bit-error injection and ECC correction budget.
+
+use serde::{Deserialize, Serialize};
+use twob_sim::SimRng;
+
+/// ECC strength configuration: how many raw bit errors per codeword the
+/// controller can correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EccConfig {
+    /// Codeword size in bytes (a page is split into codewords).
+    pub codeword_bytes: u32,
+    /// Correctable bit errors per codeword.
+    pub correctable_bits: u32,
+}
+
+impl Default for EccConfig {
+    fn default() -> Self {
+        // 1 KiB codewords with 40-bit BCH-class correction, typical for
+        // enterprise controllers.
+        EccConfig {
+            codeword_bytes: 1024,
+            correctable_bits: 40,
+        }
+    }
+}
+
+/// Raw bit-error behaviour of the medium as a function of block wear.
+///
+/// The model is deliberately simple: a base raw bit-error rate (RBER) that
+/// grows linearly with the block's erase count. It exists so that the upper
+/// layers have a real "uncorrectable read" path to test, not to predict
+/// device lifetimes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitErrorModel {
+    /// RBER for a fresh block.
+    pub base_rber: f64,
+    /// Additional RBER per program/erase cycle.
+    pub rber_per_pe_cycle: f64,
+}
+
+impl Default for BitErrorModel {
+    fn default() -> Self {
+        BitErrorModel {
+            base_rber: 1e-8,
+            rber_per_pe_cycle: 1e-10,
+        }
+    }
+}
+
+impl BitErrorModel {
+    /// A model that never produces bit errors; used when tests want a
+    /// perfectly reliable medium.
+    pub const fn perfect() -> Self {
+        BitErrorModel {
+            base_rber: 0.0,
+            rber_per_pe_cycle: 0.0,
+        }
+    }
+
+    /// RBER for a block with `erase_count` program/erase cycles.
+    pub fn rber_at(&self, erase_count: u64) -> f64 {
+        self.base_rber + self.rber_per_pe_cycle * erase_count as f64
+    }
+
+    /// Draws the raw bit-error count for one codeword read.
+    ///
+    /// Uses a Poisson draw via inversion, which is exact for the tiny means
+    /// involved (λ = RBER × bits).
+    pub fn draw_errors(&self, rng: &mut SimRng, erase_count: u64, codeword_bits: u64) -> u32 {
+        let lambda = self.rber_at(erase_count) * codeword_bits as f64;
+        if lambda <= 0.0 {
+            return 0;
+        }
+        // Knuth inversion; fine because lambda << 10 in practice.
+        let l = (-lambda).exp();
+        let mut k = 0u32;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // guard against pathological configs
+            }
+        }
+    }
+}
+
+/// The outcome of running ECC over a page read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccOutcome {
+    /// The page was clean or fully corrected; carries the corrected-bit count.
+    Corrected(u32),
+    /// At least one codeword exceeded the correction budget.
+    Uncorrectable,
+}
+
+impl EccConfig {
+    /// Simulates ECC over one page of `page_bytes`, drawing per-codeword
+    /// error counts from `model` for a block with `erase_count` cycles.
+    pub fn check_page(
+        &self,
+        model: &BitErrorModel,
+        rng: &mut SimRng,
+        erase_count: u64,
+        page_bytes: u32,
+    ) -> EccOutcome {
+        let codewords = page_bytes.div_ceil(self.codeword_bytes).max(1);
+        let bits_per_codeword = u64::from(self.codeword_bytes) * 8;
+        let mut corrected = 0u32;
+        for _ in 0..codewords {
+            let errs = model.draw_errors(rng, erase_count, bits_per_codeword);
+            if errs > self.correctable_bits {
+                return EccOutcome::Uncorrectable;
+            }
+            corrected += errs;
+        }
+        EccOutcome::Corrected(corrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_model_never_errs() {
+        let mut rng = SimRng::seed_from(1);
+        let model = BitErrorModel::perfect();
+        for _ in 0..1000 {
+            assert_eq!(model.draw_errors(&mut rng, 1_000_000, 8192), 0);
+        }
+    }
+
+    #[test]
+    fn rber_grows_with_wear() {
+        let model = BitErrorModel::default();
+        assert!(model.rber_at(10_000) > model.rber_at(0));
+    }
+
+    #[test]
+    fn default_ecc_absorbs_default_rber() {
+        let mut rng = SimRng::seed_from(2);
+        let ecc = EccConfig::default();
+        let model = BitErrorModel::default();
+        for _ in 0..500 {
+            assert!(matches!(
+                ecc.check_page(&model, &mut rng, 0, 4096),
+                EccOutcome::Corrected(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn hot_block_with_weak_ecc_fails() {
+        let mut rng = SimRng::seed_from(3);
+        let ecc = EccConfig {
+            codeword_bytes: 1024,
+            correctable_bits: 0,
+        };
+        // RBER of 1e-3 over 8192-bit codewords: ~8 errors expected.
+        let model = BitErrorModel {
+            base_rber: 1e-3,
+            rber_per_pe_cycle: 0.0,
+        };
+        let failures = (0..100)
+            .filter(|_| ecc.check_page(&model, &mut rng, 0, 4096) == EccOutcome::Uncorrectable)
+            .count();
+        assert!(failures > 90, "only {failures} uncorrectable");
+    }
+}

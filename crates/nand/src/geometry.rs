@@ -1,0 +1,289 @@
+//! Physical geometry of the NAND array and its address types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The physical shape of a NAND array.
+///
+/// Addresses decompose as
+/// `channel → way (die) → plane → block → page`, mirroring the paper's
+/// "multiple channels/ways/cores" architecture (Table I).
+///
+/// # Example
+///
+/// ```rust
+/// use twob_nand::NandGeometry;
+///
+/// let g = NandGeometry::small_test();
+/// assert_eq!(g.pages_total(), g.pages_per_block as u64 * g.blocks_total());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NandGeometry {
+    /// Independent channels between controller and dies.
+    pub channels: u32,
+    /// Dies ("ways") per channel.
+    pub ways_per_channel: u32,
+    /// Planes per die.
+    pub planes_per_way: u32,
+    /// Erase blocks per plane.
+    pub blocks_per_plane: u32,
+    /// Program/read pages per block.
+    pub pages_per_block: u32,
+    /// User-visible bytes per page (excluding spare area).
+    pub page_size: u32,
+    /// Spare (out-of-band) bytes per page for ECC and metadata.
+    pub spare_per_page: u32,
+}
+
+impl NandGeometry {
+    /// A geometry small enough for unit tests to exhaust: 2 channels × 2
+    /// ways × 1 plane × 8 blocks × 16 pages of 4 KiB.
+    pub const fn small_test() -> Self {
+        NandGeometry {
+            channels: 2,
+            ways_per_channel: 2,
+            planes_per_way: 1,
+            blocks_per_plane: 8,
+            pages_per_block: 16,
+            page_size: 4096,
+            spare_per_page: 128,
+        }
+    }
+
+    /// A geometry proportioned like the paper's 800 GB prototype (Table I),
+    /// scaled by channel/way parallelism typical for a PCIe Gen3 ×4 device.
+    /// Pages are allocated lazily, so the nominal capacity costs no memory.
+    pub const fn prototype_800gb() -> Self {
+        NandGeometry {
+            channels: 8,
+            ways_per_channel: 8,
+            planes_per_way: 2,
+            blocks_per_plane: 2048,
+            pages_per_block: 768,
+            page_size: 4096,
+            spare_per_page: 128,
+        }
+    }
+
+    /// Total dies in the array.
+    pub const fn dies_total(&self) -> u64 {
+        self.channels as u64 * self.ways_per_channel as u64
+    }
+
+    /// Total erase blocks in the array.
+    pub const fn blocks_total(&self) -> u64 {
+        self.dies_total() * self.planes_per_way as u64 * self.blocks_per_plane as u64
+    }
+
+    /// Total pages in the array.
+    pub const fn pages_total(&self) -> u64 {
+        self.blocks_total() * self.pages_per_block as u64
+    }
+
+    /// Raw capacity in bytes (user area only).
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.pages_total() * self.page_size as u64
+    }
+
+    /// Bytes per erase block.
+    pub const fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_size as u64
+    }
+
+    /// Builds a [`BlockAddr`], validating each coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range for this geometry.
+    pub fn block_addr(&self, channel: u32, way: u32, plane: u32, block: u32) -> BlockAddr {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        assert!(way < self.ways_per_channel, "way {way} out of range");
+        assert!(plane < self.planes_per_way, "plane {plane} out of range");
+        assert!(block < self.blocks_per_plane, "block {block} out of range");
+        BlockAddr {
+            channel,
+            way,
+            plane,
+            block,
+        }
+    }
+
+    /// Converts a flat block index in `[0, blocks_total)` to an address.
+    /// Blocks are striped channel-first so consecutive indices land on
+    /// different channels, maximizing parallelism for sequential workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block_from_flat(&self, index: u64) -> BlockAddr {
+        assert!(index < self.blocks_total(), "block index out of range");
+        let channel = (index % self.channels as u64) as u32;
+        let rest = index / self.channels as u64;
+        let way = (rest % self.ways_per_channel as u64) as u32;
+        let rest = rest / self.ways_per_channel as u64;
+        let plane = (rest % self.planes_per_way as u64) as u32;
+        let block = (rest / self.planes_per_way as u64) as u32;
+        BlockAddr {
+            channel,
+            way,
+            plane,
+            block,
+        }
+    }
+
+    /// Converts a block address back to its flat index
+    /// (inverse of [`NandGeometry::block_from_flat`]).
+    pub fn block_to_flat(&self, addr: BlockAddr) -> u64 {
+        let mut idx = addr.block as u64;
+        idx = idx * self.planes_per_way as u64 + addr.plane as u64;
+        idx = idx * self.ways_per_channel as u64 + addr.way as u64;
+        idx * self.channels as u64 + addr.channel as u64
+    }
+
+    /// Converts a page address to a flat physical page address.
+    pub fn ppa(&self, page: PageAddr) -> Ppa {
+        Ppa(self.block_to_flat(page.block) * self.pages_per_block as u64 + page.page as u64)
+    }
+
+    /// Converts a flat physical page address back to a page address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppa` is out of range.
+    pub fn page_from_ppa(&self, ppa: Ppa) -> PageAddr {
+        assert!(ppa.0 < self.pages_total(), "ppa out of range");
+        let block = self.block_from_flat(ppa.0 / self.pages_per_block as u64);
+        PageAddr {
+            block,
+            page: (ppa.0 % self.pages_per_block as u64) as u32,
+        }
+    }
+}
+
+impl Default for NandGeometry {
+    fn default() -> Self {
+        NandGeometry::prototype_800gb()
+    }
+}
+
+/// Address of one erase block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Way (die) index within the channel.
+    pub way: u32,
+    /// Plane index within the die.
+    pub plane: u32,
+    /// Block index within the plane.
+    pub block: u32,
+}
+
+impl BlockAddr {
+    /// Returns the address of page `page` within this block.
+    pub const fn page(self, page: u32) -> PageAddr {
+        PageAddr { block: self, page }
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c{}w{}p{}b{}",
+            self.channel, self.way, self.plane, self.block
+        )
+    }
+}
+
+/// Address of one NAND page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageAddr {
+    /// The containing erase block.
+    pub block: BlockAddr,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/pg{}", self.block, self.page)
+    }
+}
+
+/// A flat physical page address — what the FTL's mapping table stores.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Ppa(pub u64);
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ppa:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_math() {
+        let g = NandGeometry::small_test();
+        assert_eq!(g.dies_total(), 4);
+        assert_eq!(g.blocks_total(), 32);
+        assert_eq!(g.pages_total(), 512);
+        assert_eq!(g.capacity_bytes(), 512 * 4096);
+    }
+
+    #[test]
+    fn prototype_is_800gb_class() {
+        let g = NandGeometry::prototype_800gb();
+        let gb = g.capacity_bytes() as f64 / 1e9;
+        assert!(
+            (500.0..1200.0).contains(&gb),
+            "prototype capacity {gb:.1} GB not in the 800 GB class"
+        );
+    }
+
+    #[test]
+    fn flat_block_round_trip() {
+        let g = NandGeometry::small_test();
+        for idx in 0..g.blocks_total() {
+            let addr = g.block_from_flat(idx);
+            assert_eq!(g.block_to_flat(addr), idx);
+        }
+    }
+
+    #[test]
+    fn consecutive_blocks_stripe_channels() {
+        let g = NandGeometry::small_test();
+        let a = g.block_from_flat(0);
+        let b = g.block_from_flat(1);
+        assert_ne!(a.channel, b.channel);
+    }
+
+    #[test]
+    fn ppa_round_trip() {
+        let g = NandGeometry::small_test();
+        for raw in [0u64, 1, 15, 16, 511] {
+            let page = g.page_from_ppa(Ppa(raw));
+            assert_eq!(g.ppa(page), Ppa(raw));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_addr_validates() {
+        let g = NandGeometry::small_test();
+        let _ = g.block_addr(99, 0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ppa_out_of_range_panics() {
+        let g = NandGeometry::small_test();
+        let _ = g.page_from_ppa(Ppa(g.pages_total()));
+    }
+}

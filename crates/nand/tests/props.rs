@@ -1,0 +1,133 @@
+//! Property-based tests of the NAND array's physical invariants.
+
+use proptest::prelude::*;
+use twob_nand::{FlashClass, NandArray, NandError, NandGeometry};
+
+/// An abstract NAND operation drawn by proptest.
+#[derive(Debug, Clone)]
+enum Op {
+    Erase { block: u64 },
+    Program { block: u64, fill: u8 },
+    Read { block: u64, page: u32 },
+}
+
+fn op_strategy(blocks: u64, pages: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..blocks).prop_map(|block| Op::Erase { block }),
+        (0..blocks, any::<u8>()).prop_map(|(block, fill)| Op::Program { block, fill }),
+        (0..blocks, 0..pages).prop_map(|(block, page)| Op::Read { block, page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Against an oracle model: reads return exactly the last bytes
+    /// programmed since the covering erase, and the array never accepts an
+    /// out-of-order or double program.
+    #[test]
+    fn nand_matches_oracle(
+        ops in prop::collection::vec(op_strategy(8, 16), 1..120)
+    ) {
+        let geom = NandGeometry::small_test();
+        let mut nand = NandArray::new(geom, FlashClass::LowLatencySlc.timing());
+        // Oracle: per block, the programmed pages and their fill bytes.
+        let mut oracle: Vec<Vec<Option<u8>>> = vec![vec![None; 16]; 8];
+        let mut next_page: Vec<u32> = vec![0; 8];
+
+        for op in ops {
+            match op {
+                Op::Erase { block } => {
+                    let addr = geom.block_from_flat(block);
+                    nand.erase_block(addr).expect("erase always legal");
+                    oracle[block as usize] = vec![None; 16];
+                    next_page[block as usize] = 0;
+                }
+                Op::Program { block, fill } => {
+                    let addr = geom.block_from_flat(block);
+                    let np = next_page[block as usize];
+                    let data = vec![fill; 4096];
+                    if np < 16 {
+                        nand.program_page(addr.page(np), &data).expect("in-order program");
+                        oracle[block as usize][np as usize] = Some(fill);
+                        next_page[block as usize] += 1;
+                    } else {
+                        // Block full: programming must fail.
+                        prop_assert!(nand.program_page(addr.page(np), &data).is_err());
+                    }
+                }
+                Op::Read { block, page } => {
+                    let addr = geom.block_from_flat(block);
+                    match (oracle[block as usize][page as usize], nand.read_page(addr.page(page))) {
+                        (Some(fill), Ok(read)) => {
+                            prop_assert!(read.data.iter().all(|&b| b == fill));
+                        }
+                        (None, Err(NandError::ReadUnwritten(_))) => {}
+                        (expected, got) => {
+                            return Err(TestCaseError::fail(format!(
+                                "oracle {expected:?} but nand returned {:?}",
+                                got.map(|r| r.data[0])
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Double programming any page is always rejected.
+    #[test]
+    fn double_program_always_rejected(block in 0u64..8, fills in prop::collection::vec(any::<u8>(), 1..16)) {
+        let geom = NandGeometry::small_test();
+        let mut nand = NandArray::new(geom, FlashClass::DatacenterTlc.timing());
+        let addr = geom.block_from_flat(block);
+        for (i, fill) in fills.iter().enumerate() {
+            nand.program_page(addr.page(i as u32), &vec![*fill; 4096]).unwrap();
+        }
+        // Re-programming any already-written page fails.
+        for i in 0..fills.len() {
+            prop_assert!(matches!(
+                nand.program_page(addr.page(i as u32), &vec![0; 4096]),
+                Err(NandError::ProgramWithoutErase(_))
+            ));
+        }
+    }
+
+    /// Erase counts only ever grow, and wear reports aggregate them.
+    #[test]
+    fn wear_is_monotonic(erases in prop::collection::vec(0u64..8, 1..40)) {
+        let geom = NandGeometry::small_test();
+        let mut nand = NandArray::new(geom, FlashClass::LowLatencySlc.timing());
+        let mut last_total = 0u64;
+        for block in erases {
+            let addr = geom.block_from_flat(block);
+            nand.erase_block(addr).unwrap();
+            let report = nand.wear_report();
+            prop_assert!(report.erases > last_total);
+            last_total = report.erases;
+            prop_assert!(report.max_erase_count >= report.min_erase_count);
+        }
+    }
+
+    /// Flat block/page addressing round-trips for arbitrary geometry.
+    #[test]
+    fn addressing_roundtrip(
+        channels in 1u32..8, ways in 1u32..8, planes in 1u32..4,
+        blocks in 1u32..64, pages in 1u32..128, idx in any::<u64>()
+    ) {
+        let geom = NandGeometry {
+            channels,
+            ways_per_channel: ways,
+            planes_per_way: planes,
+            blocks_per_plane: blocks,
+            pages_per_block: pages,
+            page_size: 4096,
+            spare_per_page: 128,
+        };
+        let flat = idx % geom.blocks_total();
+        let addr = geom.block_from_flat(flat);
+        prop_assert_eq!(geom.block_to_flat(addr), flat);
+        let ppa = twob_nand::Ppa(idx % geom.pages_total());
+        prop_assert_eq!(geom.ppa(geom.page_from_ppa(ppa)), ppa);
+    }
+}

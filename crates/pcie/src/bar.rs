@@ -1,0 +1,218 @@
+//! BAR windows and the address translation unit (ATU).
+//!
+//! During PCI enumeration the BIOS/OS assigns each base address register
+//! (BAR) a window in the host physical address map (paper §II-B). 2B-SSD
+//! adds BAR1 for the byte path; its BAR manager programs an ATU that
+//! redirects host accesses in the BAR1 window to a region of the
+//! SSD-internal DRAM (paper §III-A1). This module models that plumbing so
+//! out-of-window and out-of-mapping accesses fail the way real hardware
+//! faults would.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors from BAR/ATU address handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BarError {
+    /// The access fell outside the BAR window.
+    OutsideWindow {
+        /// Offset of the access within the BAR.
+        offset: u64,
+        /// Length of the access.
+        len: u64,
+        /// Size of the window.
+        window: u64,
+    },
+    /// The ATU has no mapping covering the access.
+    Unmapped {
+        /// Offset of the access within the BAR.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for BarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarError::OutsideWindow {
+                offset,
+                len,
+                window,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) outside BAR window of {window} bytes"
+            ),
+            BarError::Unmapped { offset } => {
+                write!(f, "no ATU mapping covers BAR offset {offset}")
+            }
+        }
+    }
+}
+
+impl Error for BarError {}
+
+/// One base address register: an index and the window size the device
+/// advertises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bar {
+    /// BAR index (0–5 per the PCI spec).
+    pub index: u8,
+    /// Window size in bytes.
+    pub size: u64,
+}
+
+impl Bar {
+    /// Creates a BAR descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds 5 (PCI devices have six 32-bit BARs) or
+    /// `size` is zero.
+    pub fn new(index: u8, size: u64) -> Self {
+        assert!(index < 6, "PCI devices have six BARs (0-5)");
+        assert!(size > 0, "BAR window must be non-empty");
+        Bar { index, size }
+    }
+
+    /// Checks that `[offset, offset+len)` lies inside the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarError::OutsideWindow`] otherwise.
+    pub fn check(&self, offset: u64, len: u64) -> Result<(), BarError> {
+        if offset.checked_add(len).is_none_or(|end| end > self.size) {
+            Err(BarError::OutsideWindow {
+                offset,
+                len,
+                window: self.size,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// An inbound address translation window: BAR offsets
+/// `[bar_base, bar_base+size)` map to device DRAM offsets starting at
+/// `dram_base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AtuWindow {
+    /// Start of the window within the BAR.
+    pub bar_base: u64,
+    /// Corresponding start offset in device DRAM.
+    pub dram_base: u64,
+    /// Window length in bytes.
+    pub size: u64,
+}
+
+/// The address translation unit: an ordered set of inbound windows.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_pcie::AddressTranslationUnit;
+///
+/// let mut atu = AddressTranslationUnit::new();
+/// atu.map(0, 0x10_0000, 8 << 20); // BAR1 offset 0 → DRAM 1 MiB, 8 MiB long
+/// assert_eq!(atu.translate(4096, 64)?, 0x10_1000);
+/// # Ok::<(), twob_pcie::BarError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AddressTranslationUnit {
+    windows: Vec<AtuWindow>,
+}
+
+impl AddressTranslationUnit {
+    /// Creates an empty ATU (every access faults).
+    pub fn new() -> Self {
+        AddressTranslationUnit::default()
+    }
+
+    /// Adds an inbound window.
+    pub fn map(&mut self, bar_base: u64, dram_base: u64, size: u64) {
+        self.windows.push(AtuWindow {
+            bar_base,
+            dram_base,
+            size,
+        });
+    }
+
+    /// Removes all windows.
+    pub fn clear(&mut self) {
+        self.windows.clear();
+    }
+
+    /// Translates a BAR access of `len` bytes at `offset` to a DRAM offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarError::Unmapped`] if no single window covers the whole
+    /// access.
+    pub fn translate(&self, offset: u64, len: u64) -> Result<u64, BarError> {
+        for w in &self.windows {
+            if offset >= w.bar_base && offset + len <= w.bar_base + w.size {
+                return Ok(w.dram_base + (offset - w.bar_base));
+            }
+        }
+        Err(BarError::Unmapped { offset })
+    }
+
+    /// Number of programmed windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_checks_bounds() {
+        let bar = Bar::new(1, 8 << 20);
+        assert!(bar.check(0, 64).is_ok());
+        assert!(bar.check((8 << 20) - 64, 64).is_ok());
+        assert!(bar.check((8 << 20) - 63, 64).is_err());
+        assert!(bar.check(u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "six BARs")]
+    fn bar_index_validated() {
+        let _ = Bar::new(6, 4096);
+    }
+
+    #[test]
+    fn atu_translates_inside_window() {
+        let mut atu = AddressTranslationUnit::new();
+        atu.map(0, 1_000_000, 4096);
+        assert_eq!(atu.translate(100, 8).unwrap(), 1_000_100);
+    }
+
+    #[test]
+    fn atu_faults_outside_windows() {
+        let mut atu = AddressTranslationUnit::new();
+        atu.map(0, 0, 4096);
+        assert!(matches!(
+            atu.translate(4090, 16),
+            Err(BarError::Unmapped { .. })
+        ));
+        assert!(matches!(
+            atu.translate(9999, 1),
+            Err(BarError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn atu_picks_covering_window() {
+        let mut atu = AddressTranslationUnit::new();
+        atu.map(0, 100, 64);
+        atu.map(64, 9_000, 64);
+        assert_eq!(atu.translate(70, 8).unwrap(), 9_006);
+        assert_eq!(atu.window_count(), 2);
+        atu.clear();
+        assert!(atu.translate(0, 1).is_err());
+    }
+}

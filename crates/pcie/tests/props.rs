@@ -1,0 +1,114 @@
+//! Property-based tests of the host byte channel's ordering and
+//! conservation invariants.
+
+use proptest::prelude::*;
+use twob_pcie::{HostByteChannel, PcieTimings};
+use twob_sim::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No byte is ever lost or duplicated between stores and the union of
+    /// (posted fragments, WC residue): conservation of data.
+    #[test]
+    fn bytes_are_conserved(
+        stores in prop::collection::vec((0u64..4096, 1usize..64), 1..40)
+    ) {
+        let mut chan = HostByteChannel::new(PcieTimings::default());
+        let mut t = SimTime::ZERO;
+        let mut stored = 0usize;
+        let mut posted = 0usize;
+        for (offset, len) in stores {
+            let out = chan.store(t, offset, &vec![0xAB; len]);
+            stored += len;
+            posted += out.posted.iter().map(|p| p.data.len()).sum::<usize>();
+            t = out.retired_at;
+        }
+        prop_assert_eq!(stored, posted + chan.wc_resident_bytes());
+    }
+
+    /// After sync, nothing is WC-resident and every posted fragment lands
+    /// no later than the durability instant.
+    #[test]
+    fn sync_guarantees_cover_all_fragments(
+        stores in prop::collection::vec((0u64..4096, 1usize..64), 1..40)
+    ) {
+        let mut chan = HostByteChannel::new(PcieTimings::default());
+        let mut t = SimTime::ZERO;
+        for (offset, len) in &stores {
+            t = chan.store(t, *offset, &vec![0x55; *len]).retired_at;
+        }
+        let sync = chan.sync(t);
+        prop_assert_eq!(chan.wc_resident_bytes(), 0);
+        for frag in &sync.posted {
+            prop_assert!(frag.lands_at <= sync.durable_at);
+        }
+        prop_assert!(sync.durable_at > t);
+    }
+
+    /// Landing instants never decrease across successive drains —
+    /// PCIe posted-write FIFO ordering.
+    #[test]
+    fn posted_writes_land_in_fifo_order(
+        batches in prop::collection::vec(
+            prop::collection::vec((0u64..1024, 1usize..32), 1..6), 1..8
+        )
+    ) {
+        let mut chan = HostByteChannel::new(PcieTimings::default());
+        let mut t = SimTime::ZERO;
+        let mut last_land = SimTime::ZERO;
+        for batch in batches {
+            for (offset, len) in batch {
+                let out = chan.store(t, offset, &vec![1; len]);
+                t = out.retired_at;
+                for p in &out.posted {
+                    prop_assert!(p.lands_at >= last_land);
+                    last_land = last_land.max(p.lands_at);
+                }
+            }
+            let flush = chan.flush_wc(t);
+            t = flush.flushed_at;
+            for p in &flush.posted {
+                prop_assert!(p.lands_at >= last_land);
+                last_land = last_land.max(p.lands_at);
+            }
+        }
+    }
+
+    /// Store latency equals the calibrated WC model regardless of history:
+    /// base for ≤64 B plus a per-burst increment.
+    #[test]
+    fn store_latency_is_size_determined(len in 1u64..4096, offset in 0u64..4096) {
+        let timings = PcieTimings::default();
+        let mut chan = HostByteChannel::new(timings);
+        let out = chan.store(SimTime::ZERO, offset, &vec![0; len as usize]);
+        prop_assert_eq!(
+            out.retired_at.saturating_since(SimTime::ZERO),
+            timings.mmio_write(len)
+        );
+    }
+
+    /// Power loss always zeroes the WC residue and reports exactly what
+    /// was resident.
+    #[test]
+    fn power_loss_reports_residue(
+        stores in prop::collection::vec((0u64..512, 1usize..32), 0..20)
+    ) {
+        let mut chan = HostByteChannel::new(PcieTimings::default());
+        let mut t = SimTime::ZERO;
+        for (offset, len) in stores {
+            t = chan.store(t, offset, &vec![9; len]).retired_at;
+        }
+        let resident = chan.wc_resident_bytes();
+        prop_assert_eq!(chan.power_loss(), resident);
+        prop_assert_eq!(chan.wc_resident_bytes(), 0);
+    }
+
+    /// MMIO read cost is exactly ceil(len/8) TLP round trips.
+    #[test]
+    fn read_cost_counts_tlps(len in 1u64..8192) {
+        let timings = PcieTimings::default();
+        let expected = timings.read_8b_rtt * len.div_ceil(8);
+        prop_assert_eq!(timings.mmio_read(len), expected);
+    }
+}

@@ -1,0 +1,77 @@
+//! The monotonically advancing virtual clock.
+
+use crate::{SimDuration, SimTime};
+
+/// A monotonically advancing virtual clock.
+///
+/// The clock is the single source of "now" for a simulated host thread. It
+/// can only move forward; attempting to rewind it is a logic error that
+/// panics in debug builds and is clamped in release builds.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::{Clock, SimDuration, SimTime};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(SimDuration::from_micros(10));
+/// assert_eq!(clock.now(), SimTime::from_nanos(10_000));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock at the origin of the virtual timeline.
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// Creates a clock starting at the given instant.
+    pub fn starting_at(now: SimTime) -> Self {
+        Clock { now }
+    }
+
+    /// Returns the current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `delta` and returns the new instant.
+    pub fn advance(&mut self, delta: SimDuration) -> SimTime {
+        self.now += delta;
+        self.now
+    }
+
+    /// Advances the clock to `instant` if it is in the future; otherwise the
+    /// clock is unchanged (time never flows backwards). Returns the current
+    /// instant after the operation.
+    pub fn advance_to(&mut self, instant: SimTime) -> SimTime {
+        self.now = self.now.max(instant);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_reports() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimDuration::from_nanos(5));
+        c.advance(SimDuration::from_nanos(7));
+        assert_eq!(c.now(), SimTime::from_nanos(12));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut c = Clock::starting_at(SimTime::from_nanos(100));
+        c.advance_to(SimTime::from_nanos(50));
+        assert_eq!(c.now(), SimTime::from_nanos(100));
+        c.advance_to(SimTime::from_nanos(150));
+        assert_eq!(c.now(), SimTime::from_nanos(150));
+    }
+}

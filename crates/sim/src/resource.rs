@@ -1,0 +1,258 @@
+//! Busy-until resources modelling FIFO queuing at simulated devices.
+
+use crate::{SimDuration, SimTime};
+
+/// The span during which a scheduled operation occupied a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduledSpan {
+    /// When service actually began (after any queuing delay).
+    pub start: SimTime,
+    /// When service completed.
+    pub end: SimTime,
+}
+
+impl ScheduledSpan {
+    /// The total latency experienced by a request that arrived at `arrival`,
+    /// including time spent waiting for the resource.
+    pub fn latency_from(&self, arrival: SimTime) -> SimDuration {
+        self.end.saturating_since(arrival)
+    }
+
+    /// The service time alone, excluding queuing.
+    pub fn service(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A single-server FIFO resource: a NAND channel, a firmware core, the PCIe
+/// link, or anything else that serves one request at a time.
+///
+/// An operation arriving at `t` with service time `s` starts at
+/// `max(t, free_at)` and completes `s` later; the resource is then busy until
+/// that completion.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::{Server, SimDuration, SimTime};
+///
+/// let mut s = Server::new();
+/// let a = s.schedule(SimTime::ZERO, SimDuration::from_micros(10));
+/// // Arrives while busy: queues behind the first request.
+/// let b = s.schedule(SimTime::from_nanos(2_000), SimDuration::from_micros(10));
+/// assert_eq!(b.start, a.end);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Server {
+    free_at: SimTime,
+    busy_total: SimDuration,
+    served: u64,
+}
+
+impl Server {
+    /// Creates an idle server, free from the start of time.
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// Schedules an operation arriving at `arrival` requiring `service` time,
+    /// returning the span during which it held the server.
+    pub fn schedule(&mut self, arrival: SimTime, service: SimDuration) -> ScheduledSpan {
+        let start = arrival.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.busy_total += service;
+        self.served += 1;
+        ScheduledSpan { start, end }
+    }
+
+    /// Returns the instant at which the server next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Returns `true` if the server would be idle at `instant`.
+    pub fn is_idle_at(&self, instant: SimTime) -> bool {
+        self.free_at <= instant
+    }
+
+    /// Total busy time accumulated across all scheduled operations.
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Number of operations served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization over the window ending at `now` (0.0 when `now` is zero).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_total.as_secs_f64() / now.saturating_since(SimTime::ZERO).as_secs_f64()
+        }
+    }
+}
+
+/// A bank of `k` identical servers with a shared FIFO queue — e.g. the set of
+/// NAND channels of an SSD or the ARM cores running firmware.
+///
+/// Each arriving operation is assigned to the server that frees up earliest.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::{MultiServer, SimDuration, SimTime};
+///
+/// let mut chans = MultiServer::new(2);
+/// let a = chans.schedule(SimTime::ZERO, SimDuration::from_micros(10));
+/// let b = chans.schedule(SimTime::ZERO, SimDuration::from_micros(10));
+/// // Two channels: both start immediately.
+/// assert_eq!(a.start, b.start);
+/// let c = chans.schedule(SimTime::ZERO, SimDuration::from_micros(10));
+/// // Third request queues behind whichever channel frees first.
+/// assert_eq!(c.start, a.end);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiServer {
+    servers: Vec<Server>,
+}
+
+impl MultiServer {
+    /// Creates a bank of `k` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "a MultiServer needs at least one server");
+        MultiServer {
+            servers: vec![Server::new(); k],
+        }
+    }
+
+    /// Number of servers in the bank.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Returns `true` if the bank has no servers (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Schedules an operation on the earliest-free server.
+    pub fn schedule(&mut self, arrival: SimTime, service: SimDuration) -> ScheduledSpan {
+        let best = self
+            .servers
+            .iter_mut()
+            .min_by_key(|s| s.free_at())
+            .expect("MultiServer is non-empty by construction");
+        best.schedule(arrival, service)
+    }
+
+    /// Schedules an operation on a specific server index, modelling affinity
+    /// (e.g. a page that lives on one particular channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn schedule_on(
+        &mut self,
+        index: usize,
+        arrival: SimTime,
+        service: SimDuration,
+    ) -> ScheduledSpan {
+        self.servers[index].schedule(arrival, service)
+    }
+
+    /// The instant at which *some* server is next idle.
+    pub fn earliest_free_at(&self) -> SimTime {
+        self.servers
+            .iter()
+            .map(Server::free_at)
+            .min()
+            .expect("MultiServer is non-empty by construction")
+    }
+
+    /// The instant at which *all* servers are idle.
+    pub fn all_free_at(&self) -> SimTime {
+        self.servers
+            .iter()
+            .map(Server::free_at)
+            .max()
+            .expect("MultiServer is non-empty by construction")
+    }
+
+    /// Total operations served across the bank.
+    pub fn served(&self) -> u64 {
+        self.servers.iter().map(Server::served).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = Server::new();
+        let span = s.schedule(SimTime::from_nanos(42), SimDuration::from_nanos(10));
+        assert_eq!(span.start, SimTime::from_nanos(42));
+        assert_eq!(span.end, SimTime::from_nanos(52));
+        assert_eq!(span.service(), SimDuration::from_nanos(10));
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut s = Server::new();
+        let a = s.schedule(SimTime::ZERO, SimDuration::from_nanos(100));
+        let b = s.schedule(SimTime::from_nanos(10), SimDuration::from_nanos(100));
+        assert_eq!(b.start, a.end);
+        assert_eq!(
+            b.latency_from(SimTime::from_nanos(10)),
+            SimDuration::from_nanos(190)
+        );
+    }
+
+    #[test]
+    fn server_tracks_stats() {
+        let mut s = Server::new();
+        s.schedule(SimTime::ZERO, SimDuration::from_nanos(30));
+        s.schedule(SimTime::ZERO, SimDuration::from_nanos(70));
+        assert_eq!(s.served(), 2);
+        assert_eq!(s.busy_total(), SimDuration::from_nanos(100));
+        // Busy 100 ns over a 200 ns window: 50% utilized.
+        assert!((s.utilization(SimTime::from_nanos(200)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_server_overlaps_then_queues() {
+        let mut m = MultiServer::new(3);
+        let spans: Vec<_> = (0..4)
+            .map(|_| m.schedule(SimTime::ZERO, SimDuration::from_nanos(50)))
+            .collect();
+        assert!(spans[..3].iter().all(|s| s.start == SimTime::ZERO));
+        assert_eq!(spans[3].start, SimTime::from_nanos(50));
+        assert_eq!(m.served(), 4);
+    }
+
+    #[test]
+    fn multi_server_affinity() {
+        let mut m = MultiServer::new(2);
+        m.schedule_on(0, SimTime::ZERO, SimDuration::from_nanos(100));
+        let pinned = m.schedule_on(0, SimTime::ZERO, SimDuration::from_nanos(10));
+        // Even though server 1 is idle, affinity forces queuing on server 0.
+        assert_eq!(pinned.start, SimTime::from_nanos(100));
+        assert_eq!(m.earliest_free_at(), SimTime::ZERO);
+        assert_eq!(m.all_free_at(), SimTime::from_nanos(110));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_server_bank_panics() {
+        let _ = MultiServer::new(0);
+    }
+}

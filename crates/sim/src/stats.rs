@@ -1,0 +1,351 @@
+//! Latency and throughput statistics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimDuration, SimTime};
+
+/// A latency histogram that records exact samples and reports percentiles.
+///
+/// Samples are stored as raw nanosecond values; percentile queries sort
+/// lazily. This favours fidelity over memory, which is appropriate for the
+/// bounded experiment sizes in this reproduction (≤ a few million samples).
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::{Histogram, SimDuration};
+///
+/// let mut h = Histogram::new();
+/// for us in [1u64, 2, 3, 4, 100] {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(h.percentile(0.5), SimDuration::from_micros(3));
+/// assert_eq!(h.max(), SimDuration::from_micros(100));
+/// ```
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        self.samples.push(sample.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Returns the `q`-quantile (`0.0 ..= 1.0`) using nearest-rank, or zero
+    /// for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0 ..= 1.0`.
+    pub fn percentile(&mut self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len())
+            - 1;
+        SimDuration::from_nanos(self.samples[rank])
+    }
+
+    /// Arithmetic mean, or zero for an empty histogram.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| u128::from(s)).sum();
+        SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Smallest sample, or zero when empty.
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut h = self.clone();
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            h.len(),
+            h.mean(),
+            h.percentile(0.50),
+            h.percentile(0.99),
+            h.max()
+        )
+    }
+}
+
+/// Running mean/min/max over a stream of f64 observations (Welford's method
+/// for variance).
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0.0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Converts an operation count over a virtual-time window into ops/s and
+/// bytes/s figures.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::{SimTime, Throughput};
+///
+/// let t = Throughput::over_window(1_000, 4096 * 1_000, SimTime::ZERO,
+///     SimTime::from_nanos(1_000_000_000));
+/// assert_eq!(t.ops_per_sec(), 1_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    ops: u64,
+    bytes: u64,
+    window_secs: f64,
+}
+
+impl Throughput {
+    /// Computes throughput for `ops` operations moving `bytes` total bytes
+    /// between `start` and `end` in virtual time.
+    pub fn over_window(ops: u64, bytes: u64, start: SimTime, end: SimTime) -> Self {
+        Throughput {
+            ops,
+            bytes,
+            window_secs: end.saturating_since(start).as_secs_f64(),
+        }
+    }
+
+    /// Operations per second (0.0 for an empty window).
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.window_secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / self.window_secs
+        }
+    }
+
+    /// Bytes per second (0.0 for an empty window).
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.window_secs == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.window_secs
+        }
+    }
+
+    /// Megabytes (1e6 bytes) per second.
+    pub fn mb_per_sec(&self) -> f64 {
+        self.bytes_per_sec() / 1e6
+    }
+
+    /// Total operations in the window.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} ops/s, {:.1} MB/s",
+            self.ops_per_sec(),
+            self.mb_per_sec()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for ns in 1..=100u64 {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        assert_eq!(h.percentile(0.01), SimDuration::from_nanos(1));
+        assert_eq!(h.percentile(0.50), SimDuration::from_nanos(50));
+        assert_eq!(h.percentile(0.99), SimDuration::from_nanos(99));
+        assert_eq!(h.percentile(1.0), SimDuration::from_nanos(100));
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::from_nanos(1));
+        let mut b = Histogram::new();
+        b.record(SimDuration::from_nanos(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), SimDuration::from_nanos(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn histogram_rejects_bad_quantile() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(1));
+        let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn running_stats_welford() {
+        let mut s = RunningStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput::over_window(
+            500,
+            500 * 4096,
+            SimTime::ZERO,
+            SimTime::from_nanos(500_000_000),
+        );
+        assert_eq!(t.ops_per_sec(), 1_000.0);
+        assert!((t.bytes_per_sec() - 4_096_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,141 @@
+//! Bounded event tracing for datapath debugging.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::SimTime;
+
+/// One trace event: a timestamped label with a free-form detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event occurred in virtual time.
+    pub at: SimTime,
+    /// Short category label, e.g. `"ba_pin"` or `"nand.program"`.
+    pub label: &'static str,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.label, self.detail)
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// When full, the oldest events are evicted. Tracing can be disabled (the
+/// default) so that hot paths pay only a branch.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::{SimTime, TraceRing};
+///
+/// let mut ring = TraceRing::with_capacity(2);
+/// ring.set_enabled(true);
+/// ring.push(SimTime::ZERO, "io", "read lba=0".to_string());
+/// ring.push(SimTime::ZERO, "io", "read lba=1".to_string());
+/// ring.push(SimTime::ZERO, "io", "read lba=2".to_string());
+/// assert_eq!(ring.len(), 2); // oldest evicted
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl TraceRing {
+    /// Creates a disabled ring holding up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceRing {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            enabled: false,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Returns `true` if recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled and capacity is non-zero.
+    pub fn push(&mut self, at: SimTime, label: &'static str, detail: String) {
+        if !self.enabled || self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent { at, label, detail });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut ring = TraceRing::with_capacity(8);
+        ring.push(SimTime::ZERO, "x", "ignored".into());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut ring = TraceRing::with_capacity(3);
+        ring.set_enabled(true);
+        for i in 0..5 {
+            ring.push(SimTime::from_nanos(i), "ev", format!("{i}"));
+        }
+        let kept: Vec<_> = ring.iter().map(|e| e.detail.clone()).collect();
+        assert_eq!(kept, vec!["2", "3", "4"]);
+    }
+
+    #[test]
+    fn clear_empties_ring() {
+        let mut ring = TraceRing::with_capacity(3);
+        ring.set_enabled(true);
+        ring.push(SimTime::ZERO, "ev", "a".into());
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn event_display_is_nonempty() {
+        let ev = TraceEvent {
+            at: SimTime::from_nanos(1_500),
+            label: "io",
+            detail: "read".into(),
+        };
+        assert!(ev.to_string().contains("io"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use proptest::prelude::*;
+use twob_sim::{crc32, Histogram, MultiServer, Server, SimDuration, SimTime, SimRng, Zipfian};
+
+proptest! {
+    /// A server never starts a request before its arrival, never ends it
+    /// before `start + service`, and serves FIFO (ends are monotonic when
+    /// arrivals are monotonic).
+    #[test]
+    fn server_is_causal_and_fifo(
+        ops in prop::collection::vec((0u64..1_000_000, 0u64..10_000), 1..100)
+    ) {
+        let mut server = Server::new();
+        let mut arrival = SimTime::ZERO;
+        let mut last_end = SimTime::ZERO;
+        for (gap, service) in ops {
+            arrival += SimDuration::from_nanos(gap);
+            let service = SimDuration::from_nanos(service);
+            let span = server.schedule(arrival, service);
+            prop_assert!(span.start >= arrival);
+            prop_assert_eq!(span.end, span.start + service);
+            prop_assert!(span.end >= last_end);
+            last_end = span.end;
+        }
+    }
+
+    /// Total busy time of a server equals the sum of all service times.
+    #[test]
+    fn server_busy_time_conserved(
+        services in prop::collection::vec(0u64..10_000, 1..100)
+    ) {
+        let mut server = Server::new();
+        let mut total = 0u64;
+        for s in &services {
+            server.schedule(SimTime::ZERO, SimDuration::from_nanos(*s));
+            total += s;
+        }
+        prop_assert_eq!(server.busy_total(), SimDuration::from_nanos(total));
+        prop_assert_eq!(server.served(), services.len() as u64);
+    }
+
+    /// A k-server bank completes any workload no later than a single
+    /// server would, and no earlier than the work conservation bound.
+    #[test]
+    fn multi_server_dominates_single(
+        services in prop::collection::vec(1u64..10_000, 1..60),
+        k in 2usize..8
+    ) {
+        let mut single = Server::new();
+        let mut multi = MultiServer::new(k);
+        let mut single_end = SimTime::ZERO;
+        let mut multi_end = SimTime::ZERO;
+        for s in &services {
+            let d = SimDuration::from_nanos(*s);
+            single_end = single_end.max(single.schedule(SimTime::ZERO, d).end);
+            multi_end = multi_end.max(multi.schedule(SimTime::ZERO, d).end);
+        }
+        prop_assert!(multi_end <= single_end);
+        // Work conservation: k servers cannot beat total/k.
+        let total: u64 = services.iter().sum();
+        prop_assert!(multi_end.as_nanos() >= total / k as u64);
+    }
+
+    /// Percentiles are monotone in the quantile and bounded by min/max.
+    #[test]
+    fn histogram_percentiles_monotone(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0
+    ) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(SimDuration::from_nanos(*s));
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = h.percentile(lo);
+        let p_hi = h.percentile(hi);
+        prop_assert!(p_lo <= p_hi);
+        prop_assert!(h.min() <= p_lo);
+        prop_assert!(p_hi <= h.max());
+    }
+
+    /// CRC-32 streaming equals one-shot for any chunking.
+    #[test]
+    fn crc32_chunking_invariant(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        chunk in 1usize..64
+    ) {
+        let mut state = !0u32;
+        for piece in data.chunks(chunk) {
+            state = twob_sim::crc32_update(state, piece);
+        }
+        prop_assert_eq!(state ^ !0u32, crc32(&data));
+    }
+
+    /// CRC-32 detects any single-byte change.
+    #[test]
+    fn crc32_detects_any_single_byte_change(
+        mut data in prop::collection::vec(any::<u8>(), 1..256),
+        idx in any::<prop::sample::Index>(),
+        delta in 1u8..=255
+    ) {
+        let clean = crc32(&data);
+        let i = idx.index(data.len());
+        data[i] = data[i].wrapping_add(delta);
+        prop_assert_ne!(crc32(&data), clean);
+    }
+
+    /// Zipfian samples stay in range for any configuration.
+    #[test]
+    fn zipfian_in_bounds(items in 1u64..100_000, theta in 0.01f64..0.999, seed in any::<u64>()) {
+        let zipf = Zipfian::new(items, theta);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(zipf.sample(&mut rng) < items);
+        }
+    }
+
+    /// Time arithmetic round-trips.
+    #[test]
+    fn time_add_sub_roundtrip(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let d = SimDuration::from_nanos(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+    }
+}

@@ -1,0 +1,763 @@
+//! The block SSD device model.
+
+use std::collections::HashMap;
+
+use twob_ftl::{FtlIo, FtlOpKind, Lba, PageMappedFtl};
+use twob_nand::NandArray;
+use twob_sim::{MultiServer, Server, SimTime};
+
+use crate::{SsdConfig, SsdError};
+
+/// A completed block read.
+#[derive(Debug, Clone)]
+pub struct BlockRead {
+    /// Concatenated page data.
+    pub data: Vec<u8>,
+    /// Virtual-time completion of the request.
+    pub complete_at: SimTime,
+}
+
+/// Operational counters for a device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SsdStats {
+    /// Host read commands served.
+    pub read_cmds: u64,
+    /// Host write commands served.
+    pub write_cmds: u64,
+    /// Pages read on behalf of the host.
+    pub pages_read: u64,
+    /// Pages written on behalf of the host.
+    pub pages_written: u64,
+    /// Host reads satisfied from the read-ahead buffer.
+    pub prefetch_hits: u64,
+    /// Pages prefetched by the read-ahead heuristic.
+    pub prefetched_pages: u64,
+    /// Flush commands served.
+    pub flushes: u64,
+    /// Block writes rejected by the LBA checker.
+    pub gated_writes: u64,
+    /// Pages moved over the internal (BA-buffer ↔ NAND) datapath.
+    pub internal_pages: u64,
+}
+
+/// An NVMe-like block SSD with virtual-time scheduling.
+///
+/// See the crate docs for the model and [`SsdConfig`] for calibration. All
+/// operations take the caller's current virtual time and return the
+/// completion instant; the device keeps its own per-resource busy-until
+/// state, so overlapping callers naturally queue.
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    cfg: SsdConfig,
+    ftl: PageMappedFtl,
+    fw_cores: MultiServer,
+    dies: Vec<Server>,
+    channels: Vec<Server>,
+    host_read_link: Server,
+    host_write_link: Server,
+    internal_engine: Server,
+    /// Write-cache slots; each holds the instant its destage completes.
+    slots: Vec<SimTime>,
+    /// Journal of writes whose destage may still be in flight, with the
+    /// data they replaced (for volatile-cache power-loss rollback).
+    pending: Vec<(SimTime, Lba, Option<Vec<u8>>)>,
+    powered: bool,
+    last_seq_end: Option<u64>,
+    streak: u32,
+    prefetched: HashMap<u64, (SimTime, Vec<u8>)>,
+    /// LBA ranges `[start, end)` gated against block writes (the 2B-SSD
+    /// "LBA checker"; unused unless a BA-buffer pins ranges).
+    gated: Vec<(u64, u64)>,
+    stats: SsdStats,
+}
+
+/// Cap on retained prefetched pages to bound memory.
+const PREFETCH_CAP: usize = 256;
+
+impl Ssd {
+    /// Builds a device from a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`SsdConfig::validate`]).
+    pub fn new(cfg: SsdConfig) -> Self {
+        cfg.validate().expect("invalid SsdConfig");
+        let nand = match cfg.error_injection {
+            Some(inj) => NandArray::with_error_model(
+                cfg.geometry,
+                cfg.flash.timing(),
+                inj.ecc,
+                inj.model,
+                inj.seed,
+            ),
+            None => NandArray::new(cfg.geometry, cfg.flash.timing()),
+        };
+        let ftl = PageMappedFtl::new(nand, cfg.ftl);
+        let dies = cfg.geometry.dies_total() as usize;
+        Ssd {
+            fw_cores: MultiServer::new(cfg.firmware_cores as usize),
+            dies: vec![Server::new(); dies],
+            channels: vec![Server::new(); cfg.geometry.channels as usize],
+            host_read_link: Server::new(),
+            host_write_link: Server::new(),
+            internal_engine: Server::new(),
+            slots: vec![SimTime::ZERO; cfg.write_cache_pages as usize],
+            pending: Vec::new(),
+            powered: true,
+            last_seq_end: None,
+            streak: 0,
+            prefetched: HashMap::new(),
+            gated: Vec::new(),
+            stats: SsdStats::default(),
+            ftl,
+            cfg,
+        }
+    }
+
+    /// The device's profile.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Profile name (e.g. `"ULL-SSD"`).
+    pub fn label(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.ftl.page_size()
+    }
+
+    /// Exported capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.ftl.exported_pages()
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> SsdStats {
+        self.stats
+    }
+
+    /// The wrapped FTL (read-only), for WAF inspection.
+    pub fn ftl(&self) -> &PageMappedFtl {
+        &self.ftl
+    }
+
+    /// Mutable FTL access, for the 2B-SSD recovery manager's reserved-area
+    /// I/O. Normal traffic must use [`Ssd::read`] / [`Ssd::write`].
+    pub fn ftl_mut(&mut self) -> &mut PageMappedFtl {
+        &mut self.ftl
+    }
+
+    fn die_index(&self, io: &FtlIo) -> usize {
+        (io.die.channel * self.cfg.geometry.ways_per_channel + io.die.way) as usize
+    }
+
+    /// Schedules one FTL-reported NAND operation on the die/channel
+    /// resources starting no earlier than `start`; returns its end.
+    fn schedule_io(&mut self, start: SimTime, io: &FtlIo) -> SimTime {
+        let die_idx = self.die_index(io);
+        let chan_idx = io.die.channel as usize;
+        match io.kind {
+            FtlOpKind::HostRead | FtlOpKind::GcRead => {
+                // Sense on the die, then move over the channel bus.
+                let sense = self.dies[die_idx].schedule(start, io.timing.die_time);
+                self.channels[chan_idx]
+                    .schedule(sense.end, io.timing.xfer_time)
+                    .end
+            }
+            FtlOpKind::HostProgram | FtlOpKind::GcProgram => {
+                // Move over the channel bus, then program. Multi-plane and
+                // cache-program tricks let `program_parallelism` programs
+                // overlap per die.
+                let xfer = self.channels[chan_idx].schedule(start, io.timing.xfer_time);
+                let effective = io.timing.die_time / u64::from(self.cfg.program_parallelism);
+                self.dies[die_idx].schedule(xfer.end, effective).end
+            }
+            FtlOpKind::Erase => {
+                self.dies[die_idx]
+                    .schedule(start, io.timing.die_time)
+                    .end
+            }
+        }
+    }
+
+    fn schedule_ios(&mut self, start: SimTime, ios: &[FtlIo]) -> SimTime {
+        let mut end = start;
+        for io in ios {
+            end = end.max(self.schedule_io(start, io));
+        }
+        end
+    }
+
+    fn check_range(&self, lba: Lba, pages: u32) -> Result<(), SsdError> {
+        if pages == 0 {
+            return Err(SsdError::EmptyRequest);
+        }
+        let capacity = self.ftl.exported_pages();
+        if lba.0.saturating_add(u64::from(pages)) > capacity {
+            return Err(SsdError::OutOfRange {
+                lba: lba.0,
+                pages,
+                capacity,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_power(&self) -> Result<(), SsdError> {
+        if self.powered {
+            Ok(())
+        } else {
+            Err(SsdError::PoweredOff)
+        }
+    }
+
+    /// Registers an LBA range `[start, start+pages)` with the LBA checker:
+    /// block writes overlapping it are rejected until unpinned. Used by the
+    /// 2B-SSD BA-buffer manager (paper §III-A2).
+    pub fn lba_checker_pin(&mut self, start: Lba, pages: u32) {
+        self.gated.push((start.0, start.0 + u64::from(pages)));
+    }
+
+    /// Removes a previously pinned range. Unknown ranges are ignored.
+    pub fn lba_checker_unpin(&mut self, start: Lba, pages: u32) {
+        let range = (start.0, start.0 + u64::from(pages));
+        if let Some(pos) = self.gated.iter().position(|&r| r == range) {
+            self.gated.swap_remove(pos);
+        }
+    }
+
+    /// Returns the first gated LBA overlapped by `[lba, lba+pages)`, if any.
+    pub fn gated_overlap(&self, lba: Lba, pages: u32) -> Option<u64> {
+        let (a, b) = (lba.0, lba.0 + u64::from(pages));
+        self.gated
+            .iter()
+            .find(|&&(s, e)| a < e && s < b)
+            .map(|&(s, _)| s.max(a))
+    }
+
+    /// Reads `pages` pages starting at `lba`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when powered off, out of range, or reading an unmapped LBA.
+    pub fn read(&mut self, now: SimTime, lba: Lba, pages: u32) -> Result<BlockRead, SsdError> {
+        self.check_power()?;
+        self.check_range(lba, pages)?;
+        let fw = self.fw_cores.schedule(now, self.cfg.fw_read);
+        let page_size = self.page_size();
+        let mut data = Vec::with_capacity(page_size * pages as usize);
+        let mut host_ready = Vec::with_capacity(pages as usize);
+        for i in 0..u64::from(pages) {
+            let cur = Lba(lba.0 + i);
+            if let Some((ready, bytes)) = self.prefetched.remove(&cur.0) {
+                self.stats.prefetch_hits += 1;
+                data.extend_from_slice(&bytes);
+                host_ready.push(fw.end.max(ready));
+            } else {
+                let result = self.ftl.read(cur)?;
+                let end = self.schedule_ios(fw.end, &result.ios);
+                data.extend_from_slice(&result.data);
+                host_ready.push(end);
+            }
+        }
+        // Host transfers serialize on the read link in page order.
+        let mut complete_at = fw.end;
+        let xfer = self.cfg.host_read_xfer(page_size as u64);
+        for ready in host_ready {
+            complete_at = self.host_read_link.schedule(ready, xfer).end;
+        }
+        self.stats.read_cmds += 1;
+        self.stats.pages_read += u64::from(pages);
+        self.update_read_ahead(fw.end, lba, pages);
+        Ok(BlockRead { data, complete_at })
+    }
+
+    /// Detects sequential streaks and prefetches ahead of them.
+    fn update_read_ahead(&mut self, start: SimTime, lba: Lba, pages: u32) {
+        let end = lba.0 + u64::from(pages);
+        let sequential = self.last_seq_end == Some(lba.0);
+        self.last_seq_end = Some(end);
+        self.streak = if sequential { self.streak + 1 } else { 0 };
+        if self.cfg.read_ahead_pages == 0 || self.streak < 2 {
+            return;
+        }
+        if self.prefetched.len() >= PREFETCH_CAP {
+            self.prefetched.clear();
+        }
+        for ahead in 0..u64::from(self.cfg.read_ahead_pages) {
+            let next = Lba(end + ahead);
+            if next.0 >= self.ftl.exported_pages() || self.prefetched.contains_key(&next.0) {
+                continue;
+            }
+            let Ok(result) = self.ftl.read(next) else {
+                break; // ran past written data
+            };
+            let ready = self.schedule_ios(start, &result.ios);
+            self.prefetched.insert(next.0, (ready, result.data));
+            self.stats.prefetched_pages += 1;
+        }
+    }
+
+    /// Drops stale rollback-journal entries.
+    fn prune_pending(&mut self, now: SimTime) {
+        self.pending.retain(|(end, _, _)| *end > now);
+    }
+
+    /// Writes whole pages starting at `lba`. Completion is the instant the
+    /// last page entered the write cache (which is persistent when
+    /// `capacitor_backed_cache` is set).
+    ///
+    /// # Errors
+    ///
+    /// Fails when powered off, out of range, unaligned, or when the range
+    /// is gated by the LBA checker.
+    pub fn write(&mut self, now: SimTime, lba: Lba, data: &[u8]) -> Result<SimTime, SsdError> {
+        self.check_power()?;
+        let page_size = self.page_size();
+        if data.is_empty() || !data.len().is_multiple_of(page_size) {
+            return Err(SsdError::UnalignedWrite {
+                got: data.len(),
+                page_size,
+            });
+        }
+        let pages = (data.len() / page_size) as u32;
+        self.check_range(lba, pages)?;
+        if let Some(gated_lba) = self.gated_overlap(lba, pages) {
+            self.stats.gated_writes += 1;
+            return Err(SsdError::GatedByLbaChecker { lba: gated_lba });
+        }
+        self.prune_pending(now);
+        let fw = self.fw_cores.schedule(now, self.cfg.fw_write);
+        let xfer = self.cfg.host_write_xfer(page_size as u64);
+        let mut ack = fw.end;
+        for (i, chunk) in data.chunks_exact(page_size).enumerate() {
+            let cur = Lba(lba.0 + i as u64);
+            // Host transfer into the device.
+            let arrived = self.host_write_link.schedule(fw.end, xfer).end;
+            // Invalidate any prefetched copy.
+            self.prefetched.remove(&cur.0);
+            // Snapshot old data for volatile-cache rollback.
+            let old = if self.cfg.capacitor_backed_cache {
+                None
+            } else if self.ftl.is_mapped(cur) {
+                Some(self.ftl.read(cur).map(|r| r.data)?)
+            } else {
+                None
+            };
+            // Acquire the earliest-free cache slot; the write is
+            // acknowledged on insertion.
+            let slot_idx = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, t)| t)
+                .map(|(idx, _)| idx)
+                .expect("cache has at least one slot");
+            let inserted = arrived.max(self.slots[slot_idx]);
+            // Destage to NAND in the background; the slot frees when the
+            // program (and any GC it triggered) completes.
+            let ios = self.ftl.write(cur, chunk)?;
+            let end = self.schedule_ios(inserted, &ios);
+            self.slots[slot_idx] = end;
+            if !self.cfg.capacitor_backed_cache {
+                self.pending.push((end, cur, old));
+            }
+            ack = ack.max(inserted);
+        }
+        self.stats.write_cmds += 1;
+        self.stats.pages_written += u64::from(pages);
+        Ok(ack)
+    }
+
+    /// TRIM (NVMe Dataset Management deallocate): drops the mapping for
+    /// `pages` pages starting at `lba`. Costs one firmware command; the
+    /// pages afterwards read as unmapped.
+    ///
+    /// # Errors
+    ///
+    /// Fails when powered off, out of range, or when the range is gated by
+    /// the LBA checker (deallocating pinned pages would desynchronize the
+    /// byte view exactly like a write would).
+    pub fn trim(&mut self, now: SimTime, lba: Lba, pages: u32) -> Result<SimTime, SsdError> {
+        self.check_power()?;
+        self.check_range(lba, pages)?;
+        if let Some(gated_lba) = self.gated_overlap(lba, pages) {
+            self.stats.gated_writes += 1;
+            return Err(SsdError::GatedByLbaChecker { lba: gated_lba });
+        }
+        let fw = self.fw_cores.schedule(now, self.cfg.fw_write);
+        for i in 0..u64::from(pages) {
+            let cur = Lba(lba.0 + i);
+            self.prefetched.remove(&cur.0);
+            self.ftl.trim(cur)?;
+        }
+        Ok(fw.end)
+    }
+
+    /// Flushes the write cache. For capacitor-backed caches the data is
+    /// already persistent, so only a protocol acknowledgement is paid; for
+    /// volatile caches the call waits for every outstanding destage.
+    pub fn flush(&mut self, now: SimTime) -> SimTime {
+        self.stats.flushes += 1;
+        if self.cfg.capacitor_backed_cache {
+            now + self.cfg.flush_ack
+        } else {
+            let drained = self.slots.iter().copied().max().unwrap_or(now);
+            self.prune_pending(drained);
+            drained.max(now) + self.cfg.flush_ack
+        }
+    }
+
+    /// Reads pages over the internal datapath (BA-buffer ↔ NAND), bypassing
+    /// the host interface. Used by `BA_PIN` (paper §III-A2).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Ssd::read`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no internal datapath.
+    pub fn internal_read_pages(
+        &mut self,
+        now: SimTime,
+        lba: Lba,
+        pages: u32,
+    ) -> Result<BlockRead, SsdError> {
+        self.check_power()?;
+        self.check_range(lba, pages)?;
+        let page_size = self.page_size();
+        let engine_per_page = self.cfg.internal_xfer(page_size as u64);
+        let mut data = Vec::with_capacity(page_size * pages as usize);
+        let mut complete_at = now;
+        for i in 0..u64::from(pages) {
+            let cur = Lba(lba.0 + i);
+            if self.ftl.is_mapped(cur) {
+                let result = self.ftl.read(cur)?;
+                let nand_done = self.schedule_ios(now, &result.ios);
+                data.extend_from_slice(&result.data);
+                complete_at = complete_at
+                    .max(self.internal_engine.schedule(nand_done, engine_per_page).end);
+            } else {
+                // Unwritten pages read as zeroes, like a fresh drive.
+                data.extend_from_slice(&vec![0u8; page_size]);
+                complete_at =
+                    complete_at.max(self.internal_engine.schedule(now, engine_per_page).end);
+            }
+            self.stats.internal_pages += 1;
+        }
+        Ok(BlockRead { data, complete_at })
+    }
+
+    /// Writes whole pages over the internal datapath. Completion is when
+    /// the data is durable on NAND (this is the cost of `BA_FLUSH`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Ssd::write`], except the LBA checker does not gate this
+    /// path — it *is* the BA-buffer's path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no internal datapath.
+    pub fn internal_write_pages(
+        &mut self,
+        now: SimTime,
+        lba: Lba,
+        data: &[u8],
+    ) -> Result<SimTime, SsdError> {
+        self.check_power()?;
+        let page_size = self.page_size();
+        if data.is_empty() || !data.len().is_multiple_of(page_size) {
+            return Err(SsdError::UnalignedWrite {
+                got: data.len(),
+                page_size,
+            });
+        }
+        let pages = (data.len() / page_size) as u32;
+        self.check_range(lba, pages)?;
+        let engine_per_page = self.cfg.internal_xfer(page_size as u64);
+        let mut complete_at = now;
+        for (i, chunk) in data.chunks_exact(page_size).enumerate() {
+            let cur = Lba(lba.0 + i as u64);
+            self.prefetched.remove(&cur.0);
+            let staged = self.internal_engine.schedule(now, engine_per_page).end;
+            let ios = self.ftl.write(cur, chunk)?;
+            complete_at = complete_at.max(self.schedule_ios(staged, &ios));
+            self.stats.internal_pages += 1;
+        }
+        Ok(complete_at)
+    }
+
+    /// Returns `true` while the device has power.
+    pub fn is_powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Simulates losing power at `now`. Capacitor-backed caches destage on
+    /// stored energy and lose nothing; volatile caches roll back writes
+    /// whose destage had not completed.
+    pub fn power_loss(&mut self, now: SimTime) {
+        self.powered = false;
+        self.prefetched.clear();
+        self.streak = 0;
+        self.last_seq_end = None;
+        // LBA-checker state lives in controller SRAM; whoever restores the
+        // mapping table at power-on re-arms it.
+        self.gated.clear();
+        if self.cfg.capacitor_backed_cache {
+            self.pending.clear();
+            return;
+        }
+        // Roll back in-flight writes, newest first, restoring what the
+        // medium held before them.
+        let mut lost: Vec<(SimTime, Lba, Option<Vec<u8>>)> = self
+            .pending
+            .drain(..)
+            .filter(|(end, _, _)| *end > now)
+            .collect();
+        lost.sort_by_key(|(end, _, _)| std::cmp::Reverse(*end));
+        for (_, lba, old) in lost {
+            match old {
+                Some(bytes) => {
+                    let _ = self.ftl.write(lba, &bytes);
+                }
+                None => {
+                    let _ = self.ftl.trim(lba);
+                }
+            }
+        }
+    }
+
+    /// Restores power. Resource timelines are reset to `now`.
+    pub fn power_on(&mut self, _now: SimTime) {
+        self.powered = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twob_sim::SimDuration;
+
+    fn ull() -> Ssd {
+        Ssd::new(SsdConfig::ull_ssd().small())
+    }
+
+    fn page(byte: u8) -> Vec<u8> {
+        vec![byte; 4096]
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut ssd = ull();
+        let done = ssd.write(SimTime::ZERO, Lba(2), &page(0xAA)).unwrap();
+        let read = ssd.read(done, Lba(2), 1).unwrap();
+        assert_eq!(read.data, page(0xAA));
+        assert!(read.complete_at > done);
+    }
+
+    #[test]
+    fn ull_4k_latencies_match_paper() {
+        let mut ssd = ull();
+        let w_done = ssd.write(SimTime::ZERO, Lba(0), &page(1)).unwrap();
+        let write_us = w_done.saturating_since(SimTime::ZERO).as_micros_f64();
+        assert!(
+            (8.0..12.0).contains(&write_us),
+            "ULL 4K write {write_us:.1} us, paper says ~10"
+        );
+        let start = SimTime::from_nanos(1_000_000_000);
+        let r = ssd.read(start, Lba(0), 1).unwrap();
+        let read_us = r.complete_at.saturating_since(start).as_micros_f64();
+        assert!(
+            (11.0..16.0).contains(&read_us),
+            "ULL 4K read {read_us:.1} us, paper says ~13.2"
+        );
+    }
+
+    #[test]
+    fn dc_4k_latencies_match_paper() {
+        let mut ssd = Ssd::new(SsdConfig::dc_ssd().small());
+        let w_done = ssd.write(SimTime::ZERO, Lba(0), &page(1)).unwrap();
+        let write_us = w_done.saturating_since(SimTime::ZERO).as_micros_f64();
+        assert!(
+            (15.0..20.0).contains(&write_us),
+            "DC 4K write {write_us:.1} us, paper says ~17"
+        );
+        let start = SimTime::from_nanos(1_000_000_000);
+        let r = ssd.read(start, Lba(0), 1).unwrap();
+        let read_us = r.complete_at.saturating_since(start).as_micros_f64();
+        assert!(
+            (70.0..95.0).contains(&read_us),
+            "DC 4K read {read_us:.1} us, paper says ~83"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let mut ssd = ull();
+        assert!(matches!(
+            ssd.read(SimTime::ZERO, Lba(0), 0),
+            Err(SsdError::EmptyRequest)
+        ));
+        assert!(matches!(
+            ssd.write(SimTime::ZERO, Lba(0), &[0u8; 100]),
+            Err(SsdError::UnalignedWrite { .. })
+        ));
+        let cap = ssd.capacity_pages();
+        assert!(matches!(
+            ssd.read(SimTime::ZERO, Lba(cap), 1),
+            Err(SsdError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            ssd.read(SimTime::ZERO, Lba(0), 1),
+            Err(SsdError::Unmapped(0))
+        ));
+    }
+
+    #[test]
+    fn lba_checker_gates_block_writes() {
+        let mut ssd = ull();
+        ssd.write(SimTime::ZERO, Lba(4), &page(1)).unwrap();
+        ssd.lba_checker_pin(Lba(4), 2);
+        let err = ssd.write(SimTime::ZERO, Lba(5), &page(2)).unwrap_err();
+        assert!(matches!(err, SsdError::GatedByLbaChecker { lba: 5 }));
+        // Reads are not gated, and non-overlapping writes pass.
+        assert!(ssd.read(SimTime::ZERO, Lba(4), 1).is_ok());
+        assert!(ssd.write(SimTime::ZERO, Lba(6), &page(3)).is_ok());
+        ssd.lba_checker_unpin(Lba(4), 2);
+        assert!(ssd.write(SimTime::ZERO, Lba(5), &page(2)).is_ok());
+        assert_eq!(ssd.stats().gated_writes, 1);
+    }
+
+    #[test]
+    fn flush_is_cheap_with_capacitors() {
+        let mut ssd = ull();
+        ssd.write(SimTime::ZERO, Lba(0), &page(1)).unwrap();
+        let done = ssd.flush(SimTime::from_nanos(20_000));
+        assert!(done.saturating_since(SimTime::from_nanos(20_000)) <= SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn powered_off_device_refuses() {
+        let mut ssd = ull();
+        ssd.write(SimTime::ZERO, Lba(0), &page(1)).unwrap();
+        ssd.power_loss(SimTime::from_nanos(100));
+        assert!(matches!(
+            ssd.read(SimTime::from_nanos(200), Lba(0), 1),
+            Err(SsdError::PoweredOff)
+        ));
+        ssd.power_on(SimTime::from_nanos(300));
+        assert_eq!(
+            ssd.read(SimTime::from_nanos(300), Lba(0), 1).unwrap().data,
+            page(1)
+        );
+    }
+
+    #[test]
+    fn capacitor_cache_survives_power_loss() {
+        let mut ssd = ull();
+        // Ack arrives before destage completes; cut power immediately.
+        let ack = ssd.write(SimTime::ZERO, Lba(7), &page(0x77)).unwrap();
+        ssd.power_loss(ack);
+        ssd.power_on(ack);
+        assert_eq!(ssd.read(ack, Lba(7), 1).unwrap().data, page(0x77));
+    }
+
+    #[test]
+    fn volatile_cache_loses_inflight_writes() {
+        let mut cfg = SsdConfig::ull_ssd().small();
+        cfg.capacitor_backed_cache = false;
+        let mut ssd = Ssd::new(cfg);
+        let t0 = SimTime::ZERO;
+        ssd.write(t0, Lba(3), &page(0x01)).unwrap();
+        // Let the first write destage fully.
+        let settled = ssd.flush(t0);
+        // Second write acks, then power dies before its destage completes.
+        let ack = ssd.write(settled, Lba(3), &page(0x02)).unwrap();
+        ssd.power_loss(ack);
+        ssd.power_on(ack);
+        assert_eq!(
+            ssd.read(ack, Lba(3), 1).unwrap().data,
+            page(0x01),
+            "in-flight write should have rolled back"
+        );
+    }
+
+    #[test]
+    fn sequential_reads_trigger_prefetch() {
+        let mut ssd = Ssd::new(SsdConfig::dc_ssd().small());
+        let mut t = SimTime::ZERO;
+        for i in 0..32u64 {
+            t = ssd.write(t, Lba(i), &page(i as u8)).unwrap();
+        }
+        t = ssd.flush(t);
+        for i in 0..32u64 {
+            let r = ssd.read(t, Lba(i), 1).unwrap();
+            assert_eq!(r.data, page(i as u8));
+            t = r.complete_at;
+        }
+        let stats = ssd.stats();
+        assert!(stats.prefetched_pages > 0, "read-ahead never kicked in");
+        assert!(stats.prefetch_hits > 0, "prefetched pages never hit");
+    }
+
+    #[test]
+    fn prefetch_hit_is_faster_than_cold_read() {
+        let mut ssd = Ssd::new(SsdConfig::dc_ssd().small());
+        let mut t = SimTime::ZERO;
+        for i in 0..16u64 {
+            t = ssd.write(t, Lba(i), &page(i as u8)).unwrap();
+        }
+        t = ssd.flush(t) + SimDuration::from_millis(10);
+        // Prime the streak.
+        let mut last = SimDuration::ZERO;
+        let mut first = SimDuration::ZERO;
+        for i in 0..8u64 {
+            let r = ssd.read(t, Lba(i), 1).unwrap();
+            let lat = r.complete_at.saturating_since(t);
+            if i == 0 {
+                first = lat;
+            }
+            last = lat;
+            t = r.complete_at + SimDuration::from_millis(1);
+        }
+        assert!(
+            last.as_nanos() * 2 < first.as_nanos(),
+            "prefetch-hit read ({last}) should be much faster than cold ({first})"
+        );
+    }
+
+    #[test]
+    fn internal_datapath_moves_data_and_costs_time() {
+        let mut ssd = Ssd::new(SsdConfig::base_2b().small());
+        let done = ssd
+            .internal_write_pages(SimTime::ZERO, Lba(0), &page(0x5A))
+            .unwrap();
+        // Durable-on-NAND completion includes a program.
+        assert!(done.saturating_since(SimTime::ZERO) >= SimDuration::from_micros(10));
+        let read = ssd.internal_read_pages(done, Lba(0), 1).unwrap();
+        assert_eq!(read.data, page(0x5A));
+        assert_eq!(ssd.stats().internal_pages, 2);
+    }
+
+    #[test]
+    fn internal_read_of_unwritten_page_is_zeroes() {
+        let mut ssd = Ssd::new(SsdConfig::base_2b().small());
+        let read = ssd.internal_read_pages(SimTime::ZERO, Lba(5), 1).unwrap();
+        assert_eq!(read.data, vec![0u8; 4096]);
+    }
+
+    #[test]
+    fn multi_page_write_acks_in_order() {
+        let mut ssd = ull();
+        let two_pages = [page(1), page(2)].concat();
+        let ack = ssd.write(SimTime::ZERO, Lba(0), &two_pages).unwrap();
+        let r = ssd.read(ack, Lba(0), 2).unwrap();
+        assert_eq!(&r.data[..4096], page(1).as_slice());
+        assert_eq!(&r.data[4096..], page(2).as_slice());
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for SSD block operations.
+
+use std::error::Error;
+use std::fmt;
+
+use twob_ftl::FtlError;
+
+/// Errors raised by the block device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SsdError {
+    /// The request extends beyond the exported capacity.
+    OutOfRange {
+        /// First LBA of the request.
+        lba: u64,
+        /// Pages requested.
+        pages: u32,
+        /// Exported capacity in pages.
+        capacity: u64,
+    },
+    /// A write buffer was not a whole number of pages.
+    UnalignedWrite {
+        /// Bytes supplied.
+        got: usize,
+        /// Page size of the device.
+        page_size: usize,
+    },
+    /// A zero-length request.
+    EmptyRequest,
+    /// An LBA in the request has never been written.
+    Unmapped(u64),
+    /// A block write was gated because the LBA range is pinned to the
+    /// BA-buffer (the 2B-SSD "LBA checker", paper §III-A2).
+    GatedByLbaChecker {
+        /// First gated LBA.
+        lba: u64,
+    },
+    /// The device has lost power and cannot serve requests.
+    PoweredOff,
+    /// The underlying FTL failed.
+    Ftl(FtlError),
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::OutOfRange {
+                lba,
+                pages,
+                capacity,
+            } => write!(
+                f,
+                "request [{lba}, {lba}+{pages}) beyond capacity of {capacity} pages"
+            ),
+            SsdError::UnalignedWrite { got, page_size } => {
+                write!(f, "write of {got} bytes is not a multiple of {page_size}")
+            }
+            SsdError::EmptyRequest => write!(f, "zero-length request"),
+            SsdError::Unmapped(lba) => write!(f, "lba {lba} is unmapped"),
+            SsdError::GatedByLbaChecker { lba } => {
+                write!(f, "block write to lba {lba} gated: range pinned to BA-buffer")
+            }
+            SsdError::PoweredOff => write!(f, "device is powered off"),
+            SsdError::Ftl(e) => write!(f, "ftl: {e}"),
+        }
+    }
+}
+
+impl Error for SsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SsdError::Ftl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FtlError> for SsdError {
+    fn from(e: FtlError) -> Self {
+        match e {
+            FtlError::Unmapped(lba) => SsdError::Unmapped(lba.0),
+            other => SsdError::Ftl(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twob_ftl::Lba;
+
+    #[test]
+    fn unmapped_ftl_error_converts() {
+        let e: SsdError = FtlError::Unmapped(Lba(9)).into();
+        assert_eq!(e, SsdError::Unmapped(9));
+    }
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            SsdError::EmptyRequest,
+            SsdError::PoweredOff,
+            SsdError::GatedByLbaChecker { lba: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Object-safe block device abstraction used by the WAL layer.
+
+use twob_ftl::Lba;
+use twob_sim::SimTime;
+
+use crate::{BlockRead, Ssd, SsdError};
+
+/// The block interface every log device offers: page reads and writes in
+/// virtual time, plus flush. `Ssd` implements it directly; the 2B-SSD
+/// forwards to its base device, so WAL code is generic over the log device.
+pub trait BlockDevice {
+    /// Profile name for reporting.
+    fn label(&self) -> &str;
+
+    /// Page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Exported capacity in pages.
+    fn capacity_pages(&self) -> u64;
+
+    /// Reads `pages` pages starting at `lba`.
+    ///
+    /// # Errors
+    ///
+    /// Device-specific; see [`SsdError`].
+    fn read_pages(&mut self, now: SimTime, lba: Lba, pages: u32)
+        -> Result<BlockRead, SsdError>;
+
+    /// Writes whole pages starting at `lba`, returning the durable-ack
+    /// instant.
+    ///
+    /// # Errors
+    ///
+    /// Device-specific; see [`SsdError`].
+    fn write_pages(&mut self, now: SimTime, lba: Lba, data: &[u8]) -> Result<SimTime, SsdError>;
+
+    /// Flushes the device cache, returning the acknowledgement instant.
+    fn flush(&mut self, now: SimTime) -> SimTime;
+}
+
+impl BlockDevice for Ssd {
+    fn label(&self) -> &str {
+        Ssd::label(self)
+    }
+
+    fn page_size(&self) -> usize {
+        Ssd::page_size(self)
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        Ssd::capacity_pages(self)
+    }
+
+    fn read_pages(
+        &mut self,
+        now: SimTime,
+        lba: Lba,
+        pages: u32,
+    ) -> Result<BlockRead, SsdError> {
+        self.read(now, lba, pages)
+    }
+
+    fn write_pages(&mut self, now: SimTime, lba: Lba, data: &[u8]) -> Result<SimTime, SsdError> {
+        self.write(now, lba, data)
+    }
+
+    fn flush(&mut self, now: SimTime) -> SimTime {
+        Ssd::flush(self, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SsdConfig;
+
+    #[test]
+    fn trait_object_round_trip() {
+        let mut ssd = Ssd::new(SsdConfig::ull_ssd().small());
+        let dev: &mut dyn BlockDevice = &mut ssd;
+        let data = vec![0x3C; dev.page_size()];
+        let ack = dev.write_pages(SimTime::ZERO, Lba(1), &data).unwrap();
+        let flushed = dev.flush(ack);
+        let read = dev.read_pages(flushed, Lba(1), 1).unwrap();
+        assert_eq!(read.data, data);
+        assert_eq!(dev.label(), "ULL-SSD");
+        assert!(dev.capacity_pages() > 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests: the block device is observationally a flat array
+//! of pages under arbitrary write/trim/flush/read/power-cycle churn, and
+//! completions are always causal.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use twob_ftl::Lba;
+use twob_sim::{SimDuration, SimTime};
+use twob_ssd::{Ssd, SsdConfig, SsdError};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lba: u64, fill: u8, pages: u8 },
+    Trim { lba: u64, pages: u8 },
+    Read { lba: u64, pages: u8 },
+    Flush,
+    PowerCycle,
+}
+
+fn op_strategy(lbas: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..lbas, any::<u8>(), 1u8..3).prop_map(|(lba, fill, pages)| Op::Write {
+            lba,
+            fill,
+            pages
+        }),
+        1 => (0..lbas, 1u8..3).prop_map(|(lba, pages)| Op::Trim { lba, pages }),
+        3 => (0..lbas, 1u8..3).prop_map(|(lba, pages)| Op::Read { lba, pages }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::PowerCycle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Oracle equivalence for a capacitor-backed device, including across
+    /// power cycles (nothing acknowledged is ever lost).
+    #[test]
+    fn ssd_matches_flat_model(
+        ops in prop::collection::vec(op_strategy(40), 1..120),
+        ull in any::<bool>()
+    ) {
+        let cfg = if ull { SsdConfig::ull_ssd() } else { SsdConfig::dc_ssd() };
+        let mut ssd = Ssd::new(cfg.small());
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        let mut t = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Write { lba, fill, pages } => {
+                    let end = (lba + u64::from(pages)).min(40);
+                    let count = (end - lba) as u32;
+                    let data = vec![fill; 4096 * count as usize];
+                    t = ssd.write(t, Lba(lba), &data).expect("write");
+                    for i in lba..end {
+                        model.insert(i, fill);
+                    }
+                }
+                Op::Trim { lba, pages } => {
+                    let end = (lba + u64::from(pages)).min(40);
+                    let count = (end - lba) as u32;
+                    t = ssd.trim(t, Lba(lba), count).expect("trim");
+                    for i in lba..end {
+                        model.remove(&i);
+                    }
+                }
+                Op::Read { lba, pages } => {
+                    let end = (lba + u64::from(pages)).min(40);
+                    let count = (end - lba) as u32;
+                    // A multi-page read with any unmapped page errors; the
+                    // model predicts which.
+                    let all_mapped = (lba..end).all(|i| model.contains_key(&i));
+                    match ssd.read(t, Lba(lba), count) {
+                        Ok(read) => {
+                            prop_assert!(all_mapped, "read of unmapped range succeeded");
+                            t = read.complete_at;
+                            for (i, page) in read.data.chunks(4096).enumerate() {
+                                let fill = model[&(lba + i as u64)];
+                                prop_assert!(page.iter().all(|&b| b == fill));
+                            }
+                        }
+                        Err(SsdError::Unmapped(_)) => {
+                            prop_assert!(!all_mapped, "read of mapped range failed");
+                        }
+                        Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+                    }
+                }
+                Op::Flush => {
+                    t = ssd.flush(t);
+                }
+                Op::PowerCycle => {
+                    ssd.power_loss(t);
+                    t += SimDuration::from_millis(1);
+                    ssd.power_on(t);
+                }
+            }
+        }
+        // Final audit.
+        for (lba, fill) in &model {
+            let read = ssd.read(t, Lba(*lba), 1).expect("final read");
+            prop_assert!(read.data.iter().all(|b| b == fill));
+        }
+    }
+
+    /// Completions are causal: every operation completes strictly after
+    /// its issue instant, and issuing later never yields an earlier
+    /// completion on an otherwise idle device.
+    #[test]
+    fn completions_are_causal(delay_ns in 0u64..1_000_000, fill in any::<u8>()) {
+        let mut a = Ssd::new(SsdConfig::ull_ssd().small());
+        let mut b = Ssd::new(SsdConfig::ull_ssd().small());
+        let page = vec![fill; 4096];
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_nanos(delay_ns);
+        let ack_a = a.write(t0, Lba(0), &page).expect("write");
+        let ack_b = b.write(t1, Lba(0), &page).expect("write");
+        prop_assert!(ack_a > t0);
+        prop_assert!(ack_b > t1);
+        // Same service on an idle device: latency identical.
+        prop_assert_eq!(
+            ack_a.saturating_since(t0),
+            ack_b.saturating_since(t1)
+        );
+    }
+
+    /// The write cache never acknowledges faster than the host interface
+    /// can deliver the data.
+    #[test]
+    fn ack_respects_host_bandwidth(pages in 1u32..16) {
+        let mut ssd = Ssd::new(SsdConfig::ull_ssd().small());
+        let data = vec![0u8; 4096 * pages as usize];
+        let ack = ssd.write(SimTime::ZERO, Lba(0), &data).expect("write");
+        let floor = ssd.config().host_write_xfer(4096) * u64::from(pages);
+        prop_assert!(ack.saturating_since(SimTime::ZERO) >= floor);
+    }
+}
+
+#[test]
+fn injected_bit_errors_surface_as_read_failures() {
+    use twob_nand::{BitErrorModel, EccConfig};
+    use twob_ssd::ErrorInjection;
+    let mut cfg = SsdConfig::ull_ssd().small();
+    cfg.error_injection = Some(ErrorInjection {
+        ecc: EccConfig {
+            codeword_bytes: 1024,
+            correctable_bits: 0,
+        },
+        model: BitErrorModel {
+            base_rber: 1e-3,
+            rber_per_pe_cycle: 0.0,
+        },
+        seed: 9,
+    });
+    let mut ssd = Ssd::new(cfg);
+    let ack = ssd.write(SimTime::ZERO, Lba(0), &vec![7u8; 4096]).unwrap();
+    // Destage happens in the background; the first *host* read that hits
+    // NAND (after the cache slot settles) must eventually report an
+    // uncorrectable error with this hopeless RBER/ECC pairing.
+    let mut t = ssd.flush(ack);
+    let mut failed = false;
+    for _ in 0..50 {
+        match ssd.read(t, Lba(0), 1) {
+            Ok(read) => t = read.complete_at,
+            Err(SsdError::Ftl(_)) => {
+                failed = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    assert!(failed, "uncorrectable ECC error never surfaced");
+}

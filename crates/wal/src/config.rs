@@ -1,0 +1,116 @@
+//! WAL configuration and commit modes.
+
+use serde::{Deserialize, Serialize};
+use twob_sim::SimDuration;
+
+/// How a transaction's commit interacts with log durability (paper Fig 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommitMode {
+    /// Wait for the log write (and flush) to reach the device before
+    /// completing — durable, slow.
+    Sync,
+    /// Complete immediately after buffering in host memory; the log write
+    /// trails behind, leaving a data-loss risk window — fast, unsafe.
+    Async,
+}
+
+impl std::fmt::Display for CommitMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitMode::Sync => write!(f, "SYNC"),
+            CommitMode::Async => write!(f, "ASYNC"),
+        }
+    }
+}
+
+/// Tunables shared by the WAL schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WalConfig {
+    /// First LBA of the log region on the device.
+    pub region_base_lba: u64,
+    /// Size of the log region in pages; the writer wraps within it.
+    pub region_pages: u32,
+    /// Host memcpy throughput for staging records, bytes/s.
+    pub memcpy_bytes_per_sec: u64,
+    /// Fixed per-record CPU cost (formatting, locking, bookkeeping).
+    pub record_overhead: SimDuration,
+    /// Latency of one persistent store to battery-backed DRAM on the
+    /// memory bus (`PmWal` only): store + `clflush` + fence at DRAM speed.
+    pub pm_write_base: SimDuration,
+    /// Incremental PM cost per 64-byte line (`PmWal` only).
+    pub pm_per_line: SimDuration,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            region_base_lba: 0,
+            region_pages: 64,
+            memcpy_bytes_per_sec: 10_000_000_000,
+            record_overhead: SimDuration::from_nanos(150),
+            pm_write_base: SimDuration::from_nanos(200),
+            pm_per_line: SimDuration::from_nanos(8),
+        }
+    }
+}
+
+impl WalConfig {
+    /// Host memcpy time for `bytes`.
+    pub fn memcpy(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos_f64(bytes as f64 * 1e9 / self.memcpy_bytes_per_sec as f64)
+    }
+
+    /// Persistent-memory write time for `bytes` (store + flush + fence).
+    pub fn pm_write(&self, bytes: u64) -> SimDuration {
+        let lines = bytes.div_ceil(64).max(1);
+        self.pm_write_base + self.pm_per_line * (lines - 1)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.region_pages < 2 {
+            return Err("log region needs at least 2 pages".into());
+        }
+        if self.memcpy_bytes_per_sec == 0 {
+            return Err("memcpy bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(WalConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn memcpy_cost_is_linear() {
+        let cfg = WalConfig::default();
+        assert!(
+            cfg.memcpy(8192)
+                .as_nanos()
+                .abs_diff(cfg.memcpy(4096).as_nanos() * 2)
+                <= 1
+        );
+    }
+
+    #[test]
+    fn pm_write_is_sub_microsecond_for_small_records() {
+        let cfg = WalConfig::default();
+        assert!(cfg.pm_write(100).as_nanos() < 1_000);
+    }
+
+    #[test]
+    fn commit_mode_displays() {
+        assert_eq!(CommitMode::Sync.to_string(), "SYNC");
+        assert_eq!(CommitMode::Async.to_string(), "ASYNC");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for WAL operations.
+
+use std::error::Error;
+use std::fmt;
+
+use twob_core::TwoBError;
+use twob_ssd::SsdError;
+
+/// Errors raised by the WAL writers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WalError {
+    /// A record larger than the writer can ever hold.
+    RecordTooLarge {
+        /// Encoded record size.
+        got: usize,
+        /// Maximum the writer supports.
+        max: usize,
+    },
+    /// The configuration failed validation.
+    BadConfig(String),
+    /// The log device failed.
+    Device(SsdError),
+    /// The 2B-SSD byte path failed.
+    TwoB(TwoBError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::RecordTooLarge { got, max } => {
+                write!(f, "record of {got} bytes exceeds writer maximum of {max}")
+            }
+            WalError::BadConfig(msg) => write!(f, "invalid wal config: {msg}"),
+            WalError::Device(e) => write!(f, "log device: {e}"),
+            WalError::TwoB(e) => write!(f, "2b-ssd: {e}"),
+        }
+    }
+}
+
+impl Error for WalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WalError::Device(e) => Some(e),
+            WalError::TwoB(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SsdError> for WalError {
+    fn from(e: SsdError) -> Self {
+        WalError::Device(e)
+    }
+}
+
+impl From<TwoBError> for WalError {
+    fn from(e: TwoBError) -> Self {
+        WalError::TwoB(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            WalError::RecordTooLarge { got: 10, max: 5 },
+            WalError::BadConfig("x".into()),
+            WalError::Device(SsdError::PoweredOff),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Write-ahead logging schemes for the 2B-SSD case study (paper §IV).
+//!
+//! WAL's performance problem is *small frequent writes*: a commit record is
+//! usually far smaller than a page, yet block devices force page-aligned
+//! writes followed by `fsync`, so the same log page is rewritten over and
+//! over while transactions wait on the device. This crate implements the
+//! three logging schemes the paper compares:
+//!
+//! - [`BlockWal`] — conventional WAL over any block device, with
+//!   *synchronous* (durable before commit) and *asynchronous* (commit
+//!   first, risk window until the page write lands) modes (paper Fig 5,
+//!   left).
+//! - [`BaWal`] — the paper's BA-WAL (§IV-B): log records are appended
+//!   straight into the 2B-SSD's BA-buffer with `memcpy`-grade MMIO stores,
+//!   committed with `BA_SYNC` (durable at DRAM-like latency), and flushed
+//!   to NAND a *full segment half at a time* via `BA_FLUSH`, double-buffered
+//!   so flushing overlaps logging.
+//! - [`PmWal`] — the heterogeneous-memory comparator (paper Fig 10): a
+//!   battery-backed DRAM buffer on the memory bus absorbs commits, and a
+//!   background path lazily writes filled halves through the block I/O
+//!   stack to a log device.
+//!
+//! All three produce identical on-media record streams ([`LogRecord`] with
+//! CRC-32 torn-write detection), so [`replay`] can audit any of them.
+//!
+//! # Example
+//!
+//! ```rust
+//! use twob_ssd::{Ssd, SsdConfig};
+//! use twob_sim::SimTime;
+//! use twob_wal::{BlockWal, CommitMode, WalConfig, WalWriter};
+//!
+//! let ssd = Ssd::new(SsdConfig::ull_ssd().small());
+//! let mut wal = BlockWal::new(ssd, WalConfig::default(), CommitMode::Sync)?;
+//! let outcome = wal.append_commit(SimTime::ZERO, b"INSERT tuple 42")?;
+//! assert_eq!(Some(outcome.commit_at), outcome.durable_at);
+//! # Ok::<(), twob_wal::WalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ba;
+mod block;
+mod config;
+mod error;
+mod pm;
+mod record;
+mod replay;
+mod stats;
+mod traits;
+
+pub use ba::BaWal;
+pub use block::BlockWal;
+pub use config::{CommitMode, WalConfig};
+pub use error::WalError;
+pub use pm::PmWal;
+pub use record::{LogRecord, Lsn};
+pub use replay::{decode_stream, replay, ReplayOutcome};
+pub use stats::WalStats;
+pub use traits::{CommitOutcome, WalWriter};

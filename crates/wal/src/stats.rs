@@ -1,0 +1,86 @@
+//! WAL accounting: commit costs and log write amplification.
+
+use serde::{Deserialize, Serialize};
+use twob_sim::SimDuration;
+
+/// Counters shared by all WAL writers.
+///
+/// The two headline figures:
+///
+/// - [`WalStats::mean_commit_cost`] — the commit-path latency the paper
+///   reduces "up to 26×" (§V-C).
+/// - [`WalStats::log_waf`] — device page writes per *distinct* log page;
+///   conventional WAL rewrites a partially filled page on every commit,
+///   BA-WAL programs each page exactly once when its segment half flushes
+///   (§IV-A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalStats {
+    /// Commits appended.
+    pub commits: u64,
+    /// Payload bytes appended (excluding headers).
+    pub payload_bytes: u64,
+    /// Encoded bytes appended (including headers).
+    pub encoded_bytes: u64,
+    /// Pages written to the log device.
+    pub device_page_writes: u64,
+    /// Device flushes issued.
+    pub device_flushes: u64,
+    /// Distinct log pages the encoded stream occupies.
+    pub distinct_pages: u64,
+    /// Total virtual time spent on the commit path.
+    pub commit_time_total: SimDuration,
+}
+
+impl WalStats {
+    /// Mean commit-path latency.
+    pub fn mean_commit_cost(&self) -> SimDuration {
+        if self.commits == 0 {
+            SimDuration::ZERO
+        } else {
+            self.commit_time_total / self.commits
+        }
+    }
+
+    /// Device page writes per distinct log page (≥ 1.0 unless nothing was
+    /// written). Conventional WAL with small commits drives this well above
+    /// 1; BA-WAL holds it at 1.
+    pub fn log_waf(&self) -> f64 {
+        if self.distinct_pages == 0 {
+            1.0
+        } else {
+            self.device_page_writes as f64 / self.distinct_pages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = WalStats::default();
+        assert_eq!(s.mean_commit_cost(), SimDuration::ZERO);
+        assert_eq!(s.log_waf(), 1.0);
+    }
+
+    #[test]
+    fn waf_reflects_page_rewrites() {
+        let s = WalStats {
+            device_page_writes: 40,
+            distinct_pages: 10,
+            ..WalStats::default()
+        };
+        assert!((s.log_waf() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_commit_cost_divides() {
+        let s = WalStats {
+            commits: 4,
+            commit_time_total: SimDuration::from_micros(40),
+            ..WalStats::default()
+        };
+        assert_eq!(s.mean_commit_cost(), SimDuration::from_micros(10));
+    }
+}

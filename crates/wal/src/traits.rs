@@ -1,0 +1,120 @@
+//! The common WAL writer interface.
+
+use twob_sim::SimTime;
+
+use crate::{Lsn, WalError, WalStats};
+
+/// Outcome of appending a commit record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// The record's sequence number.
+    pub lsn: Lsn,
+    /// When the *transaction may complete* under the writer's commit mode.
+    pub commit_at: SimTime,
+    /// When the record is durable: equal to `commit_at` for synchronous
+    /// and BA commits, later for asynchronous commits (the risk window),
+    /// and `None` if the record is still volatile in host memory.
+    pub durable_at: Option<SimTime>,
+}
+
+impl CommitOutcome {
+    /// The asynchronous-commit risk window, if any: the span between the
+    /// transaction completing and its log record becoming durable.
+    pub fn risk_window(&self) -> Option<twob_sim::SimDuration> {
+        self.durable_at
+            .map(|d| d.saturating_since(self.commit_at))
+            .filter(|w| w.as_nanos() > 0)
+    }
+}
+
+/// A write-ahead log writer: appends commit records in virtual time.
+///
+/// Implementations differ in *where* the record becomes durable (NAND page,
+/// BA-buffer, PM) and *when* the transaction may complete relative to that.
+pub trait WalWriter {
+    /// Appends one commit record carrying `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Writer-specific; see [`WalError`].
+    fn append_commit(&mut self, now: SimTime, payload: &[u8]) -> Result<CommitOutcome, WalError>;
+
+    /// Appends a *batch* of records with one durability point at the end —
+    /// the group-commit primitive. The default just chains
+    /// [`WalWriter::append_commit`]; schemes with a cheaper batch path
+    /// (one page write for many records, one `BA_SYNC` for many stores)
+    /// override it. Returns the outcome of the last record, whose
+    /// `durable_at` covers the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Writer-specific; see [`WalError`]. An empty batch is an error.
+    fn append_batch(
+        &mut self,
+        now: SimTime,
+        payloads: &[Vec<u8>],
+    ) -> Result<CommitOutcome, WalError> {
+        let mut t = now;
+        let mut last = None;
+        for payload in payloads {
+            let out = self.append_commit(t, payload)?;
+            t = out.commit_at;
+            last = Some(out);
+        }
+        last.ok_or(WalError::BadConfig("empty batch".into()))
+    }
+
+    /// Scheme name for reporting, e.g. `"BA-WAL(2B-SSD)"`.
+    fn scheme(&self) -> String;
+
+    /// Accounting counters.
+    fn stats(&self) -> WalStats;
+}
+
+impl<W: WalWriter + ?Sized> WalWriter for Box<W> {
+    fn append_commit(&mut self, now: SimTime, payload: &[u8]) -> Result<CommitOutcome, WalError> {
+        (**self).append_commit(now, payload)
+    }
+
+    fn append_batch(
+        &mut self,
+        now: SimTime,
+        payloads: &[Vec<u8>],
+    ) -> Result<CommitOutcome, WalError> {
+        (**self).append_batch(now, payloads)
+    }
+
+    fn scheme(&self) -> String {
+        (**self).scheme()
+    }
+
+    fn stats(&self) -> WalStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twob_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn risk_window_math() {
+        let base = CommitOutcome {
+            lsn: Lsn(1),
+            commit_at: SimTime::from_nanos(100),
+            durable_at: Some(SimTime::from_nanos(100)),
+        };
+        assert_eq!(base.risk_window(), None);
+        let risky = CommitOutcome {
+            durable_at: Some(SimTime::from_nanos(600)),
+            ..base
+        };
+        assert_eq!(risky.risk_window(), Some(SimDuration::from_nanos(500)));
+        let volatile = CommitOutcome {
+            durable_at: None,
+            ..base
+        };
+        assert_eq!(volatile.risk_window(), None);
+    }
+}

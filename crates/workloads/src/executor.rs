@@ -1,0 +1,164 @@
+//! Multi-client virtual-time execution.
+
+use twob_sim::SimTime;
+
+/// A pool of simulated client threads, each with its own virtual clock.
+///
+/// Usage: call [`ClientPool::next_client`] to pick the farthest-behind
+/// client and the instant its next operation may start, run the operation
+/// against the engine at that instant, and report the completion with
+/// [`ClientPool::complete`]. Clients thereby interleave in virtual time
+/// while the engine's shared busy-until resources (the WAL device, the
+/// firmware cores) provide the queuing.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::{SimDuration, SimTime};
+/// use twob_workloads::ClientPool;
+///
+/// let mut pool = ClientPool::new(4);
+/// for _ in 0..8 {
+///     let (client, start) = pool.next_client();
+///     pool.complete(client, start + SimDuration::from_micros(10));
+/// }
+/// // 8 ops × 10 us over 4 clients finish in 20 us of virtual time.
+/// assert_eq!(pool.makespan(), SimTime::from_nanos(20_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientPool {
+    clocks: Vec<SimTime>,
+    ops: u64,
+}
+
+impl ClientPool {
+    /// Creates a pool of `clients` clients, all starting at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn new(clients: usize) -> Self {
+        ClientPool::starting_at(clients, SimTime::ZERO)
+    }
+
+    /// Creates a pool whose clients all start at `t` — e.g. right after a
+    /// load phase, so throughput is measured over the steady state only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn starting_at(clients: usize, t: SimTime) -> Self {
+        assert!(clients > 0, "need at least one client");
+        ClientPool {
+            clocks: vec![t; clients],
+            ops: 0,
+        }
+    }
+
+    /// The earliest client clock (useful as the measurement window start
+    /// right after construction).
+    pub fn earliest(&self) -> SimTime {
+        self.clocks
+            .iter()
+            .copied()
+            .min()
+            .expect("non-empty pool")
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Returns `true` if the pool has no clients (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Picks the client with the earliest clock and returns `(index,
+    /// start_instant)`.
+    pub fn next_client(&mut self) -> (usize, SimTime) {
+        let (idx, &t) = self
+            .clocks
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, t)| t)
+            .expect("non-empty pool");
+        (idx, t)
+    }
+
+    /// Records that client `idx`'s operation completed at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn complete(&mut self, idx: usize, at: SimTime) {
+        self.clocks[idx] = self.clocks[idx].max(at);
+        self.ops += 1;
+    }
+
+    /// Operations completed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The latest client clock — the workload's virtual makespan.
+    pub fn makespan(&self) -> SimTime {
+        self.clocks
+            .iter()
+            .copied()
+            .max()
+            .expect("non-empty pool")
+    }
+
+    /// Throughput in operations per virtual second over the makespan.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.makespan().saturating_since(SimTime::ZERO).as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twob_sim::SimDuration;
+
+    #[test]
+    fn dispatches_farthest_behind_client() {
+        let mut pool = ClientPool::new(2);
+        let (a, t0) = pool.next_client();
+        pool.complete(a, t0 + SimDuration::from_micros(100));
+        let (b, _) = pool.next_client();
+        assert_ne!(a, b, "idle client must be picked before busy one");
+    }
+
+    #[test]
+    fn makespan_and_throughput() {
+        let mut pool = ClientPool::new(4);
+        for _ in 0..40 {
+            let (c, t) = pool.next_client();
+            pool.complete(c, t + SimDuration::from_micros(10));
+        }
+        assert_eq!(pool.ops(), 40);
+        assert_eq!(pool.makespan(), SimTime::from_nanos(100_000));
+        assert!((pool.ops_per_sec() - 400_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn completion_never_rewinds_clock() {
+        let mut pool = ClientPool::new(1);
+        pool.complete(0, SimTime::from_nanos(100));
+        pool.complete(0, SimTime::from_nanos(50));
+        assert_eq!(pool.makespan(), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_pool_panics() {
+        let _ = ClientPool::new(0);
+    }
+}

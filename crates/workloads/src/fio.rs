@@ -1,0 +1,54 @@
+//! Request-size ladders for the FIO-like microbenchmarks (Figs 7–8).
+
+/// Request sizes of the latency sweep (paper Fig 7): 8 B to 4 KiB.
+pub fn latency_request_sizes() -> Vec<u64> {
+    vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+}
+
+/// Request sizes of the bandwidth sweep (paper Fig 8): 4 KiB to 16 MiB.
+pub fn bandwidth_request_sizes() -> Vec<u64> {
+    vec![
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
+        16 << 20,
+    ]
+}
+
+/// Rounds a byte count up to whole 4 KiB pages (block I/O granularity).
+pub fn pages_for(bytes: u64) -> u32 {
+    bytes.div_ceil(4096).max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_cover_paper_ranges() {
+        let lat = latency_request_sizes();
+        assert_eq!(*lat.first().unwrap(), 8);
+        assert_eq!(*lat.last().unwrap(), 4096);
+        let bw = bandwidth_request_sizes();
+        assert_eq!(*bw.first().unwrap(), 4096);
+        assert_eq!(*bw.last().unwrap(), 16 << 20);
+    }
+
+    #[test]
+    fn ladders_are_strictly_increasing() {
+        for ladder in [latency_request_sizes(), bandwidth_request_sizes()] {
+            assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn pages_round_up() {
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(4097), 2);
+        assert_eq!(pages_for(16 << 20), 4096);
+    }
+}

@@ -1,0 +1,47 @@
+//! Workload generators for the 2B-SSD evaluation (paper §V).
+//!
+//! - [`LinkbenchWorkload`] — a social-graph transaction mix patterned on
+//!   Facebook's Linkbench, which the paper runs against PostgreSQL:
+//!   read-intensive with about 30 % writes, dominated by link-list reads.
+//! - [`YcsbWorkload`] — the Yahoo! Cloud Serving Benchmark with Zipfian
+//!   key popularity; Workload A (50 % reads / 50 % updates) is what the
+//!   paper runs against RocksDB and Redis, sweeping the payload size.
+//! - [`fio`] — the request-size ladders of the FIO-like microbenchmarks
+//!   behind Figs 7 and 8.
+//! - [`mod@trace`] — a block-trace parser and replayer for driving devices
+//!   with preprocessed FIU/MSR-style traces.
+//! - [`ClientPool`] — a multi-client virtual-time executor: each simulated
+//!   client carries its own clock, the pool always dispatches the
+//!   farthest-behind client, and shared device queues emerge naturally in
+//!   the engine's busy-until resources.
+//!
+//! # Example
+//!
+//! ```rust
+//! use twob_sim::SimRng;
+//! use twob_workloads::{YcsbConfig, YcsbOp, YcsbWorkload};
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let mut ycsb = YcsbWorkload::new(YcsbConfig::workload_a(1_000, 256));
+//! match ycsb.next_op(&mut rng) {
+//!     YcsbOp::Read { key } => assert!(key.starts_with(b"user")),
+//!     YcsbOp::Update { key, value } => {
+//!         assert!(key.starts_with(b"user"));
+//!         assert_eq!(value.len(), 256);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+pub mod fio;
+mod linkbench;
+pub mod trace;
+mod ycsb;
+
+pub use executor::ClientPool;
+pub use linkbench::{LinkbenchConfig, LinkbenchWorkload};
+pub use trace::{parse_trace, replay_trace, TraceOp, TraceParseError, TraceReplayReport};
+pub use ycsb::{YcsbConfig, YcsbOp, YcsbWorkload};

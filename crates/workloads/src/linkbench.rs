@@ -1,0 +1,255 @@
+//! A Linkbench-like social-graph transaction mix.
+
+use serde::{Deserialize, Serialize};
+use twob_db::PgOp;
+use twob_sim::{SimRng, Zipfian};
+
+/// Operation mix of the Linkbench-like workload, as fractions that must
+/// sum to 1. The defaults follow the published Linkbench mix (Armstrong et
+/// al., SIGMOD'13), which the paper describes as "read intensive with
+/// about 30 % writes".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkbenchConfig {
+    /// Number of graph nodes.
+    pub nodes: u64,
+    /// Payload bytes attached to nodes and links.
+    pub payload_bytes: usize,
+    /// Fraction of `get_link_list` transactions (reads).
+    pub get_link_list: f64,
+    /// Fraction of `count_links` transactions (reads).
+    pub count_links: f64,
+    /// Fraction of `get_node` transactions (reads).
+    pub get_node: f64,
+    /// Fraction of `add_link` transactions (writes).
+    pub add_link: f64,
+    /// Fraction of `update_link` transactions (writes).
+    pub update_link: f64,
+    /// Fraction of `delete_link` transactions (writes).
+    pub delete_link: f64,
+    /// Fraction of `add_node` transactions (writes).
+    pub add_node: f64,
+    /// Fraction of `update_node` transactions (writes).
+    pub update_node: f64,
+    /// Fraction of `delete_node` transactions (writes).
+    pub delete_node: f64,
+    /// Zipfian skew of node popularity.
+    pub theta: f64,
+}
+
+impl LinkbenchConfig {
+    /// The published Linkbench mix over `nodes` nodes.
+    pub fn standard(nodes: u64) -> Self {
+        LinkbenchConfig {
+            nodes,
+            payload_bytes: 128,
+            get_link_list: 0.509,
+            count_links: 0.049,
+            get_node: 0.129,
+            add_link: 0.090,
+            update_link: 0.080,
+            delete_link: 0.030,
+            add_node: 0.026,
+            update_node: 0.074,
+            delete_node: 0.013,
+            theta: 0.85,
+        }
+    }
+
+    /// Total write fraction of the mix.
+    pub fn write_fraction(&self) -> f64 {
+        self.add_link
+            + self.update_link
+            + self.delete_link
+            + self.add_node
+            + self.update_node
+            + self.delete_node
+    }
+
+    /// Validates that the fractions sum to ~1.
+    ///
+    /// # Errors
+    ///
+    /// Returns the actual sum when it is off by more than 1 %.
+    pub fn validate(&self) -> Result<(), f64> {
+        let sum = self.get_link_list
+            + self.count_links
+            + self.get_node
+            + self.write_fraction();
+        if (sum - 1.0).abs() < 0.01 {
+            Ok(())
+        } else {
+            Err(sum)
+        }
+    }
+}
+
+/// Generates Linkbench-like transactions as [`PgOp`] batches.
+#[derive(Debug, Clone)]
+pub struct LinkbenchWorkload {
+    cfg: LinkbenchConfig,
+    zipf: Zipfian,
+    next_new_node: u64,
+}
+
+impl LinkbenchWorkload {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix does not sum to 1 (see
+    /// [`LinkbenchConfig::validate`]).
+    pub fn new(cfg: LinkbenchConfig) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|sum| panic!("linkbench mix sums to {sum}, not 1"));
+        LinkbenchWorkload {
+            zipf: Zipfian::new(cfg.nodes, cfg.theta),
+            next_new_node: cfg.nodes,
+            cfg,
+        }
+    }
+
+    /// The configured mix.
+    pub fn config(&self) -> &LinkbenchConfig {
+        &self.cfg
+    }
+
+    fn payload(&self, rng: &mut SimRng) -> Vec<u8> {
+        let mut data = vec![0u8; self.cfg.payload_bytes];
+        rng.fill_bytes(&mut data);
+        data
+    }
+
+    /// Transactions that seed the graph: one `InsertNode` per node plus a
+    /// few links, run before measurement starts.
+    pub fn load_phase(&mut self, rng: &mut SimRng, links_per_node: u32) -> Vec<Vec<PgOp>> {
+        let mut txns = Vec::new();
+        for id in 0..self.cfg.nodes {
+            let mut ops = vec![PgOp::InsertNode {
+                id,
+                data: self.payload(rng),
+            }];
+            for _ in 0..links_per_node {
+                ops.push(PgOp::AddLink {
+                    from: id,
+                    to: rng.next_u64_below(self.cfg.nodes),
+                    data: self.payload(rng),
+                });
+            }
+            txns.push(ops);
+        }
+        txns
+    }
+
+    /// Draws the next transaction from the mix.
+    pub fn next_txn(&mut self, rng: &mut SimRng) -> Vec<PgOp> {
+        let id1 = self.zipf.sample(rng);
+        let id2 = self.zipf.sample(rng);
+        let mut pick = rng.next_f64();
+        let mut take = |fraction: f64| {
+            if pick < fraction {
+                pick = 2.0; // consumed
+                true
+            } else {
+                pick -= fraction;
+                false
+            }
+        };
+        let c = self.cfg;
+        if take(c.get_link_list) {
+            vec![PgOp::GetLinkList { id: id1 }]
+        } else if take(c.count_links) {
+            vec![PgOp::CountLinks { id: id1 }]
+        } else if take(c.get_node) {
+            vec![PgOp::GetNode { id: id1 }]
+        } else if take(c.add_link) || take(c.update_link) {
+            // Linkbench's add_link and update_link both upsert a link row.
+            vec![PgOp::AddLink {
+                from: id1,
+                to: id2,
+                data: self.payload(rng),
+            }]
+        } else if take(c.delete_link) {
+            vec![PgOp::DeleteLink { from: id1, to: id2 }]
+        } else if take(c.add_node) {
+            let id = self.next_new_node;
+            self.next_new_node += 1;
+            vec![PgOp::InsertNode {
+                id,
+                data: self.payload(rng),
+            }]
+        } else if take(c.update_node) {
+            vec![PgOp::UpdateNode {
+                id: id1,
+                data: self.payload(rng),
+            }]
+        } else {
+            vec![PgOp::DeleteNode { id: id1 }]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_mix_sums_to_one() {
+        assert!(LinkbenchConfig::standard(100).validate().is_ok());
+    }
+
+    #[test]
+    fn standard_mix_is_about_30_percent_writes() {
+        let w = LinkbenchConfig::standard(100).write_fraction();
+        assert!((0.25..0.36).contains(&w), "write fraction {w}");
+    }
+
+    #[test]
+    fn generated_mix_matches_configured_fractions() {
+        let mut rng = SimRng::seed_from(3);
+        let mut wl = LinkbenchWorkload::new(LinkbenchConfig::standard(1_000));
+        let n = 20_000;
+        let writes = (0..n)
+            .filter(|_| wl.next_txn(&mut rng).iter().any(PgOp::is_write))
+            .count();
+        let fraction = writes as f64 / n as f64;
+        let expected = wl.config().write_fraction();
+        assert!(
+            (fraction - expected).abs() < 0.02,
+            "measured write fraction {fraction}, configured {expected}"
+        );
+    }
+
+    #[test]
+    fn load_phase_seeds_every_node() {
+        let mut rng = SimRng::seed_from(1);
+        let mut wl = LinkbenchWorkload::new(LinkbenchConfig::standard(50));
+        let txns = wl.load_phase(&mut rng, 2);
+        assert_eq!(txns.len(), 50);
+        assert!(txns.iter().all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn add_node_mints_fresh_ids() {
+        let mut rng = SimRng::seed_from(5);
+        let mut wl = LinkbenchWorkload::new(LinkbenchConfig::standard(10));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            for op in wl.next_txn(&mut rng) {
+                if let PgOp::InsertNode { id, .. } = op {
+                    assert!(id >= 10, "new nodes must not collide with seeds");
+                    assert!(seen.insert(id), "duplicate new node id {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn bad_mix_panics() {
+        let cfg = LinkbenchConfig {
+            get_link_list: 0.9,
+            ..LinkbenchConfig::standard(10)
+        };
+        let _ = LinkbenchWorkload::new(cfg);
+    }
+}

@@ -1,0 +1,83 @@
+//! Runs the RocksDB-style engine under YCSB-A on two log devices and
+//! reports throughput, mirroring one cell of paper Fig 9.
+//!
+//! Run with: `cargo run --release --example kvstore_ycsb`
+
+use twob::db::{EngineCosts, MiniRocks};
+use twob::sim::{SimRng, SimTime};
+use twob::ssd::{Ssd, SsdConfig};
+use twob::wal::{BlockWal, CommitMode, WalConfig, WalWriter};
+use twob::workloads::{ClientPool, YcsbConfig, YcsbOp, YcsbWorkload};
+
+fn run(wal: Box<dyn WalWriter>, label: &str, payload: usize) -> f64 {
+    let mut db = MiniRocks::new(wal, EngineCosts::rocksdb());
+    let mut rng = SimRng::seed_from(7);
+    let mut wl = YcsbWorkload::new(YcsbConfig::workload_a(500, payload));
+    // Load phase.
+    let mut t = SimTime::ZERO;
+    for (key, value) in wl.load_phase(&mut rng) {
+        t = db.put(t, key, value).expect("load").commit_at;
+    }
+    // Measurement: 8 virtual clients.
+    let ops = 10_000u64;
+    let start = t;
+    let mut pool = ClientPool::starting_at(8, start);
+    for _ in 0..ops {
+        let (client, at) = pool.next_client();
+        let done = match wl.next_op(&mut rng) {
+            YcsbOp::Read { key } => db.get(at, &key).0,
+            YcsbOp::Update { key, value } => db.put(at, key, value).expect("put").commit_at,
+        };
+        pool.complete(client, done);
+    }
+    let tput = ops as f64 / pool.makespan().saturating_since(start).as_secs_f64();
+    println!(
+        "{label:<24} {tput:>12.0} ops/s   (wal: {}, log WAF {:.1})",
+        db.scheme(),
+        db.wal_stats().log_waf()
+    );
+    tput
+}
+
+fn main() {
+    let payload = 256;
+    println!("== MiniRocks + YCSB-A, {payload} B values, 8 clients ==\n");
+
+    let dc = run(
+        Box::new(
+            BlockWal::new(
+                Ssd::new(SsdConfig::dc_ssd().bench_scale()),
+                WalConfig::default(),
+                CommitMode::Sync,
+            )
+            .expect("wal"),
+        ),
+        "conventional on DC-SSD",
+        payload,
+    );
+
+    let ba = run(
+        twob_bench_wal(),
+        "BA-WAL on 2B-SSD",
+        payload,
+    );
+
+    println!("\nspeed-up: {:.2}x (paper Fig 9 reports 1.2-2.8x)", ba / dc);
+}
+
+/// The same BA-WAL layout the Fig 9 harness uses for RocksDB: each log
+/// file is a quarter of the BA-buffer (paper §IV-B).
+fn twob_bench_wal() -> Box<dyn WalWriter> {
+    use twob::core::{TwoBSpec, TwoBSsd};
+    use twob::wal::BaWal;
+    let spec = TwoBSpec {
+        ba_buffer_bytes: 2 << 20,
+        ..TwoBSpec::default()
+    };
+    let dev = TwoBSsd::new(SsdConfig::base_2b().bench_scale(), spec);
+    let cfg = WalConfig {
+        region_pages: 2048,
+        ..WalConfig::default()
+    };
+    Box::new(BaWal::new(dev, cfg, 128).expect("ba wal"))
+}

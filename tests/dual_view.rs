@@ -1,0 +1,127 @@
+//! Integration: the dual byte/block view of files, exercised through the
+//! `twob` facade across every layer (NAND → FTL → SSD → PCIe → 2B-SSD).
+
+use twob::core::{EntryId, PermissionPolicy, TwoBSsd};
+use twob::ftl::Lba;
+use twob::sim::{SimDuration, SimTime};
+use twob::ssd::{BlockDevice, SsdError};
+
+#[test]
+fn file_is_coherent_across_paths_and_power_cycles() {
+    let mut dev = TwoBSsd::small_for_tests();
+    let mut t = SimTime::ZERO;
+
+    // A 3-page file through the block path.
+    for i in 0..3u64 {
+        let mut page = vec![0u8; 4096];
+        page[..8].copy_from_slice(&i.to_le_bytes());
+        t = dev.write_pages(t, Lba(i), &page).unwrap();
+    }
+
+    // Byte view of the middle page.
+    let pin = dev.ba_pin(t, EntryId(0), 0, Lba(1), 1).unwrap();
+    t = pin.complete_at;
+    let read = dev.mmio_read(t, EntryId(0), 0, 8).unwrap();
+    assert_eq!(read.data, 1u64.to_le_bytes());
+    t = read.complete_at;
+
+    // Patch bytes 100..116 through MMIO, sync, crash, recover.
+    let store = dev.mmio_write(t, EntryId(0), 100, b"patched-via-BAR1").unwrap();
+    let sync = dev.ba_sync(store.retired_at, EntryId(0)).unwrap();
+    let dump = dev.power_loss(sync.complete_at);
+    assert!(dump.dumped);
+    let report = dev.power_on(sync.complete_at + SimDuration::from_millis(1));
+    assert!(report.restored);
+    t = sync.complete_at + SimDuration::from_millis(2);
+
+    // After recovery the entry is live again and the patch survives.
+    let entry = dev.ba_entry_info(EntryId(0)).unwrap();
+    assert_eq!(entry.start_lba, Lba(1));
+    let read = dev.mmio_read(t, EntryId(0), 100, 16).unwrap();
+    assert_eq!(read.data, b"patched-via-BAR1");
+    t = read.complete_at;
+
+    // Flush to NAND; block path now sees the patch, other pages intact.
+    let flush = dev.ba_flush(t, EntryId(0)).unwrap();
+    t = flush.complete_at;
+    let block = dev.read_pages(t, Lba(0), 3).unwrap();
+    assert_eq!(&block.data[..8], &0u64.to_le_bytes());
+    assert_eq!(&block.data[4096 + 100..4096 + 116], b"patched-via-BAR1");
+    assert_eq!(&block.data[8192..8200], &2u64.to_le_bytes());
+}
+
+#[test]
+fn lba_checker_guards_the_byte_view() {
+    let mut dev = TwoBSsd::small_for_tests();
+    let mut t = SimTime::ZERO;
+    t = dev.write_pages(t, Lba(5), &vec![1u8; 4096]).unwrap();
+    let pin = dev.ba_pin(t, EntryId(0), 0, Lba(5), 1).unwrap();
+    t = pin.complete_at;
+
+    // Block write gated; block read allowed; unrelated writes allowed.
+    assert!(matches!(
+        dev.write_pages(t, Lba(5), &vec![2u8; 4096]),
+        Err(SsdError::GatedByLbaChecker { lba: 5 })
+    ));
+    assert!(dev.read_pages(t, Lba(5), 1).is_ok());
+    assert!(dev.write_pages(t, Lba(6), &vec![2u8; 4096]).is_ok());
+
+    // A crash/restore cycle keeps the gate armed.
+    dev.power_loss(t);
+    dev.power_on(t + SimDuration::from_millis(1));
+    t += SimDuration::from_millis(2);
+    assert!(matches!(
+        dev.write_pages(t, Lba(5), &vec![3u8; 4096]),
+        Err(SsdError::GatedByLbaChecker { lba: 5 })
+    ));
+
+    // Flush lifts it.
+    let flush = dev.ba_flush(t, EntryId(0)).unwrap();
+    assert!(dev
+        .write_pages(flush.complete_at, Lba(5), &vec![3u8; 4096])
+        .is_ok());
+}
+
+#[test]
+fn os_permission_policy_gates_pins() {
+    let mut dev = TwoBSsd::small_for_tests();
+    dev.set_permission_policy(PermissionPolicy::Ranges(vec![(100, 120)]));
+    let t = SimTime::ZERO;
+    assert!(dev.ba_pin(t, EntryId(0), 0, Lba(100), 4).is_ok());
+    assert!(dev.ba_pin(t, EntryId(1), 32768, Lba(0), 1).is_err());
+    assert!(dev.ba_pin(t, EntryId(1), 32768, Lba(118), 4).is_err());
+}
+
+#[test]
+fn all_eight_entries_usable_concurrently() {
+    let mut dev = TwoBSsd::small_for_tests();
+    let mut t = SimTime::ZERO;
+    // Table I: up to 8 entries; the small test buffer holds 16 pages, so
+    // pin 8 windows of 2 pages each.
+    for i in 0..8u8 {
+        let pin = dev
+            .ba_pin(t, EntryId(i), u64::from(i) * 8192, Lba(u64::from(i) * 4), 2)
+            .unwrap();
+        t = pin.complete_at;
+    }
+    assert_eq!(dev.entries().len(), 8);
+    assert!(dev.free_eid().is_none());
+    // The 9th pin fails even with a fresh range.
+    assert!(dev.ba_pin(t, EntryId(0), 0, Lba(60), 1).is_err());
+    // Each window is independently writable and flushable.
+    for i in 0..8u8 {
+        let store = dev
+            .mmio_write(t, EntryId(i), 0, &[i + 1; 32])
+            .unwrap();
+        let sync = dev.ba_sync(store.retired_at, EntryId(i)).unwrap();
+        t = sync.complete_at;
+    }
+    for i in 0..8u8 {
+        let flush = dev.ba_flush(t, EntryId(i)).unwrap();
+        t = flush.complete_at;
+    }
+    for i in 0..8u8 {
+        let read = dev.read_pages(t, Lba(u64::from(i) * 4), 1).unwrap();
+        assert_eq!(&read.data[..32], &[i + 1; 32]);
+    }
+}

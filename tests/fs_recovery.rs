@@ -1,0 +1,99 @@
+//! Integration: the journaling filesystem with its metadata journal on
+//! the 2B-SSD byte path — the paper's file-system-journaling use case —
+//! including crash recovery through the capacitor dump.
+
+use twob::core::TwoBSsd;
+use twob::fs::MiniFs;
+use twob::sim::{SimDuration, SimTime};
+use twob::ssd::{Ssd, SsdConfig};
+use twob::wal::{BaWal, BlockWal, CommitMode, WalConfig, WalWriter};
+
+#[test]
+fn fs_with_ba_journal_recovers_after_power_loss() {
+    // Data on an ordinary SSD; metadata journal on the 2B-SSD byte path.
+    let data_dev = Ssd::new(SsdConfig::ull_ssd().small());
+    let journal = BaWal::new(TwoBSsd::small_for_tests(), WalConfig::default(), 4).unwrap();
+    let mut fs = MiniFs::format(data_dev, journal, SimTime::ZERO).unwrap();
+
+    let mut t = SimTime::from_nanos(1_000_000);
+    t = fs.create(t, "db.log").unwrap();
+    t = fs.write(t, "db.log", 0, b"first segment").unwrap();
+    t = fs.create(t, "scratch").unwrap();
+    t = fs.write(t, "scratch", 0, &[7u8; 9000]).unwrap();
+    t = fs.delete(t, "scratch").unwrap();
+    t = fs.write(t, "db.log", 13, b", second segment").unwrap();
+
+    // Crash: power fails on the journal's 2B-SSD with nothing
+    // checkpointed. The capacitors dump the BA-buffer.
+    let (data_dev, mut journal) = fs.into_parts();
+    let dump = journal.device_mut().power_loss(t);
+    assert!(dump.dumped);
+    journal
+        .device_mut()
+        .power_on(t + SimDuration::from_millis(1));
+    let records = journal
+        .recover_buffered(t + SimDuration::from_millis(2))
+        .unwrap();
+    assert!(!records.is_empty(), "synced journal records must survive");
+
+    // Mount from the recovered journal tail.
+    let fresh_journal = BlockWal::new(
+        Ssd::new(SsdConfig::ull_ssd().small()),
+        WalConfig::default(),
+        CommitMode::Sync,
+    )
+    .unwrap();
+    let (mut recovered, t2) = MiniFs::mount(
+        data_dev,
+        fresh_journal,
+        &records,
+        t + SimDuration::from_millis(3),
+    )
+    .unwrap();
+    assert_eq!(recovered.list(), vec!["db.log".to_string()]);
+    assert_eq!(recovered.file_size("db.log").unwrap(), 29);
+    let (data, _) = recovered.read(t2, "db.log", 0, 29).unwrap();
+    assert_eq!(data, b"first segment, second segment");
+}
+
+#[test]
+fn ba_journal_commits_are_cheaper_than_block_journal_commits() {
+    // The paper's motivation for FS journaling on 2B-SSD: metadata
+    // commits are small frequent writes.
+    fn metadata_churn<J: WalWriter>(mut fs: MiniFs<Ssd, J>) -> f64 {
+        let mut t = SimTime::from_nanos(1_000_000);
+        let start = t;
+        for i in 0..100 {
+            let name = format!("f{i}");
+            t = fs.create(t, &name).unwrap();
+            t = fs.write(t, &name, 0, &[1u8; 64]).unwrap();
+            t = fs.delete(t, &name).unwrap();
+        }
+        t.saturating_since(start).as_micros_f64()
+    }
+
+    let block_fs = MiniFs::format(
+        Ssd::new(SsdConfig::dc_ssd().small()),
+        BlockWal::new(
+            Ssd::new(SsdConfig::dc_ssd().bench_scale()),
+            WalConfig::default(),
+            CommitMode::Sync,
+        )
+        .unwrap(),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let ba_fs = MiniFs::format(
+        Ssd::new(SsdConfig::dc_ssd().small()),
+        BaWal::new(TwoBSsd::small_for_tests(), WalConfig::default(), 4).unwrap(),
+        SimTime::ZERO,
+    )
+    .unwrap();
+
+    let block_us = metadata_churn(block_fs);
+    let ba_us = metadata_churn(ba_fs);
+    assert!(
+        ba_us * 1.5 < block_us,
+        "BA journal ({ba_us:.0} us) should clearly beat block journal ({block_us:.0} us)"
+    );
+}
