@@ -20,7 +20,9 @@ fn bench_ssd_write_path(c: &mut Criterion) {
         let mut lba = 0u64;
         let cap = ssd.capacity_pages();
         b.iter(|| {
-            t = ssd.write(t, Lba(lba % cap), black_box(&page)).expect("write");
+            t = ssd
+                .write(t, Lba(lba % cap), black_box(&page))
+                .expect("write");
             lba += 1;
         });
     });
@@ -28,8 +30,7 @@ fn bench_ssd_write_path(c: &mut Criterion) {
 
 fn bench_ba_commit(c: &mut Criterion) {
     c.bench_function("ba_wal_commit", |b| {
-        let mut wal =
-            BaWal::new(TwoBSsd::small_for_tests(), WalConfig::default(), 8).expect("wal");
+        let mut wal = BaWal::new(TwoBSsd::small_for_tests(), WalConfig::default(), 8).expect("wal");
         let mut t = SimTime::from_nanos(1_000_000);
         let body = vec![0x42u8; 100];
         b.iter(|| {

@@ -424,10 +424,7 @@ pub fn fs_journaling() -> FsJournalAblation {
     use twob_fs::MiniFs;
     use twob_wal::{BlockWal, CommitMode};
 
-    fn churn<J: twob_wal::WalWriter>(
-        mut fs: MiniFs<Ssd, J>,
-        rounds: u32,
-    ) -> f64 {
+    fn churn<J: twob_wal::WalWriter>(mut fs: MiniFs<Ssd, J>, rounds: u32) -> f64 {
         let start = SimTime::from_nanos(1_000_000);
         let mut t = start;
         let mut ops = 0u64;

@@ -93,7 +93,10 @@ fn main() {
     twob_bench::print_table(
         &["scheme", "records/s (durable)"],
         &[
-            vec!["DC-SSD sync, solo".to_string(), format!("{:.0}", gc.dc_solo)],
+            vec![
+                "DC-SSD sync, solo".to_string(),
+                format!("{:.0}", gc.dc_solo),
+            ],
             vec![
                 "DC-SSD sync, batches of 16".to_string(),
                 format!("{:.0}", gc.dc_grouped),
@@ -127,10 +130,7 @@ fn main() {
     twob_bench::print_table(
         &["block 8-page reads", "MB/s"],
         &[
-            vec![
-                "alone".to_string(),
-                format!("{:.0}", intf.block_alone_mbs),
-            ],
+            vec!["alone".to_string(), format!("{:.0}", intf.block_alone_mbs)],
             vec![
                 "with saturating BA_PIN/BA_FLUSH stream".to_string(),
                 format!("{:.0}", intf.block_contended_mbs),
@@ -143,13 +143,7 @@ fn main() {
     let rows: Vec<Vec<String>> = qd
         .rows
         .iter()
-        .map(|(depth, ull, dc)| {
-            vec![
-                depth.to_string(),
-                format!("{ull:.0}"),
-                format!("{dc:.0}"),
-            ]
-        })
+        .map(|(depth, ull, dc)| vec![depth.to_string(), format!("{ull:.0}"), format!("{dc:.0}")])
         .collect();
     twob_bench::print_table(&["QD", "ULL-SSD kIOPS", "DC-SSD kIOPS"], &rows);
 }

@@ -18,7 +18,14 @@ fn main() {
         })
         .collect();
     twob_bench::print_table(
-        &["payload(B)", "DC sync", "ULL sync", "BA commit", "vs DC", "vs ULL"],
+        &[
+            "payload(B)",
+            "DC sync",
+            "ULL sync",
+            "BA commit",
+            "vs DC",
+            "vs ULL",
+        ],
         &table,
     );
     println!(

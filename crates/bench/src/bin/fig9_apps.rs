@@ -20,14 +20,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let report = twob_bench::fig9::run(quick);
     let headers = [
-        "workload",
-        "DC-SSD",
-        "ULL-SSD",
-        "2B-SSD",
-        "ASYNC",
-        "2B/DC",
-        "2B/ULL",
-        "of ASYNC",
+        "workload", "DC-SSD", "ULL-SSD", "2B-SSD", "ASYNC", "2B/DC", "2B/ULL", "of ASYNC",
     ];
 
     println!("Fig 9: application throughput (ops/s or txns/s)\n");

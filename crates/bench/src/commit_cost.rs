@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use twob_sim::SimTime;
-use twob_wal::{WalWriter, WalStats};
+use twob_wal::{WalStats, WalWriter};
 
 use crate::fig9::{make_wal, BaLayout, LogKind};
 
@@ -39,7 +39,8 @@ pub fn run() -> Vec<CommitCostRow> {
     [64usize, 256, 1024]
         .into_iter()
         .map(|payload| {
-            let (dc_us, _) = mean_commit_us(make_wal(LogKind::Dc, BaLayout::Halves), payload, commits);
+            let (dc_us, _) =
+                mean_commit_us(make_wal(LogKind::Dc, BaLayout::Halves), payload, commits);
             let (ull_us, _) =
                 mean_commit_us(make_wal(LogKind::Ull, BaLayout::Halves), payload, commits);
             let (ba_us, _) =

@@ -52,10 +52,20 @@ pub fn run(quick: bool) -> Fig10Report {
     let txns = if quick { 4_000 } else { 20_000 };
     let clients = 8;
     let seed = 45;
-    let baseline = run_pg(make_wal(LogKind::TwoB, BaLayout::Halves), txns, clients, seed);
+    let baseline = run_pg(
+        make_wal(LogKind::TwoB, BaLayout::Halves),
+        txns,
+        clients,
+        seed,
+    );
     let pm_dc = run_pg(pm_wal(SsdConfig::dc_ssd()), txns, clients, seed);
     let pm_ull = run_pg(pm_wal(SsdConfig::ull_ssd()), txns, clients, seed);
-    let async_max = run_pg(make_wal(LogKind::Async, BaLayout::Halves), txns, clients, seed);
+    let async_max = run_pg(
+        make_wal(LogKind::Async, BaLayout::Halves),
+        txns,
+        clients,
+        seed,
+    );
     Fig10Report {
         baseline_tps: baseline,
         pm_dc: pm_dc / baseline,

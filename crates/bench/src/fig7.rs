@@ -1,7 +1,7 @@
 //! Fig 7 — read/write latency versus request size (8 B – 4 KiB).
 
 use serde::{Deserialize, Serialize};
-use twob_core::{EntryId, TwoBSsd, TwoBSpec};
+use twob_core::{EntryId, TwoBSpec, TwoBSsd};
 use twob_ftl::Lba;
 use twob_sim::{SimDuration, SimTime};
 use twob_ssd::{Ssd, SsdConfig};

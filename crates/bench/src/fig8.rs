@@ -1,7 +1,7 @@
 //! Fig 8 — bandwidth versus request size (4 KiB – 16 MiB) at QD1.
 
 use serde::{Deserialize, Serialize};
-use twob_core::{EntryId, TwoBSsd, TwoBSpec};
+use twob_core::{EntryId, TwoBSpec, TwoBSsd};
 use twob_ftl::Lba;
 use twob_sim::SimTime;
 use twob_ssd::{Ssd, SsdConfig};
@@ -159,7 +159,10 @@ mod tests {
         );
         // Write: 2B internal ≈ DC + ~700 MB/s.
         let gap = largest.twob_internal_write_mbs - largest.dc_write_mbs;
-        assert!((400.0..1_100.0).contains(&gap), "write gap {gap}: {largest:?}");
+        assert!(
+            (400.0..1_100.0).contains(&gap),
+            "write gap {gap}: {largest:?}"
+        );
         // Read: DC closes on (and passes) 2B internal at large sizes...
         assert!(largest.dc_read_mbs > largest.twob_internal_read_mbs * 0.9);
         // ...but loses badly at 4 KiB where its per-request latency bites.
@@ -171,9 +174,7 @@ mod tests {
         // Bandwidth grows with request size for every series.
         for pair in rows.windows(2) {
             assert!(pair[1].ull_read_mbs >= pair[0].ull_read_mbs * 0.9);
-            assert!(
-                pair[1].twob_internal_read_mbs >= pair[0].twob_internal_read_mbs * 0.9
-            );
+            assert!(pair[1].twob_internal_read_mbs >= pair[0].twob_internal_read_mbs * 0.9);
         }
     }
 }

@@ -6,7 +6,9 @@ use twob_db::{EngineCosts, MiniPg, MiniRedis, MiniRocks};
 use twob_sim::{SimRng, SimTime};
 use twob_ssd::{Ssd, SsdConfig};
 use twob_wal::{BaWal, BlockWal, CommitMode, WalConfig, WalWriter};
-use twob_workloads::{ClientPool, LinkbenchConfig, LinkbenchWorkload, YcsbConfig, YcsbOp, YcsbWorkload};
+use twob_workloads::{
+    ClientPool, LinkbenchConfig, LinkbenchWorkload, YcsbConfig, YcsbOp, YcsbWorkload,
+};
 
 /// Which log device/scheme backs the engine's WAL.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -300,7 +302,10 @@ mod tests {
                 "redis payload {payload} ull/dc {ull_vs_dc}: {s:?}"
             );
             assert!(s.twob > s.ull, "redis payload {payload}: {s:?}");
-            assert!(s.fraction_of_async() > 0.75, "redis payload {payload}: {s:?}");
+            assert!(
+                s.fraction_of_async() > 0.75,
+                "redis payload {payload}: {s:?}"
+            );
         }
         // Redis gain also shrinks with payload.
         let redis_first = report.redis.first().unwrap().1;

@@ -2,11 +2,15 @@
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a subcommand, optional positional arguments, and
+/// `--key value` flags.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Parsed {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// Positional arguments following the subcommand (e.g. a sub-action
+    /// like `sweep` in `twob faults sweep`). They must precede any flag.
+    pub args: Vec<String>,
     /// `--key value` pairs.
     pub flags: HashMap<String, String>,
 }
@@ -58,15 +62,28 @@ impl std::error::Error for ArgError {}
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError> {
     let mut iter = args.into_iter();
     let command = iter.next().ok_or(ArgError::MissingCommand)?;
+    let mut positionals = Vec::new();
     let mut flags = HashMap::new();
+    let mut seen_flag = false;
     while let Some(arg) = iter.next() {
         let Some(key) = arg.strip_prefix("--") else {
-            return Err(ArgError::UnexpectedPositional(arg));
+            if seen_flag {
+                return Err(ArgError::UnexpectedPositional(arg));
+            }
+            positionals.push(arg);
+            continue;
         };
-        let value = iter.next().ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+        seen_flag = true;
+        let value = iter
+            .next()
+            .ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
         flags.insert(key.to_string(), value);
     }
-    Ok(Parsed { command, flags })
+    Ok(Parsed {
+        command,
+        args: positionals,
+        flags,
+    })
 }
 
 impl Parsed {
@@ -107,9 +124,18 @@ mod tests {
     fn parses_command_and_flags() {
         let p = parse(strs(&["wal", "--scheme", "ba", "--commits", "100"])).unwrap();
         assert_eq!(p.command, "wal");
+        assert!(p.args.is_empty());
         assert_eq!(p.str_or("scheme", "x"), "ba");
         assert_eq!(p.u64_or("commits", 0).unwrap(), 100);
         assert_eq!(p.u64_or("absent", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn parses_positionals_before_flags() {
+        let p = parse(strs(&["faults", "sweep", "--cuts", "216"])).unwrap();
+        assert_eq!(p.command, "faults");
+        assert_eq!(p.args, strs(&["sweep"]));
+        assert_eq!(p.u64_or("cuts", 0).unwrap(), 216);
     }
 
     #[test]
@@ -119,8 +145,10 @@ mod tests {
             parse(strs(&["x", "--flag"])).unwrap_err(),
             ArgError::MissingValue("flag".into())
         );
+        // Positionals may not follow a flag (they would be swallowed as
+        // flag values otherwise).
         assert_eq!(
-            parse(strs(&["x", "stray"])).unwrap_err(),
+            parse(strs(&["x", "--n", "5", "stray"])).unwrap_err(),
             ArgError::UnexpectedPositional("stray".into())
         );
         let p = parse(strs(&["x", "--n", "abc"])).unwrap();

@@ -28,6 +28,10 @@ subcommands:
            --ops N --payload BYTES       MiniRocks under YCSB-A
   replay   --trace FILE --device dc|ull  replay a block trace (W/R/T/F fmt)
   crash-demo                             durability windows of the byte path
+  faults sweep --cuts N --seed S         crash-consistency sweep: N random
+                                         fault schedules (power cuts, flush
+                                         faults, NAND errors) across every
+                                         engine x commit scheme
   help                                   this text"
     );
 }
@@ -46,6 +50,7 @@ pub fn dispatch(parsed: &Parsed) -> CliResult {
         "ycsb" => ycsb(parsed),
         "replay" => replay(parsed),
         "crash-demo" => crash_demo(),
+        "faults" => faults(parsed),
         "help" | "--help" | "-h" => {
             help();
             Ok(())
@@ -128,10 +133,9 @@ fn latency(parsed: &Parsed) -> CliResult {
             }
         }
         other => {
-            return Err(format!(
-                "--device must be dc, ull, twob-mmio, or twob-dma, not {other:?}"
+            return Err(
+                format!("--device must be dc, ull, twob-mmio, or twob-dma, not {other:?}").into(),
             )
-            .into())
         }
     };
     println!("{device} {op} of {size} B: {us:.2} us");
@@ -163,9 +167,7 @@ fn make_wal(scheme: &str) -> Result<Box<dyn WalWriter>, Box<dyn Error>> {
             8,
         )?),
         other => {
-            return Err(
-                format!("--scheme must be dc, ull, async, ba, or pm, not {other:?}").into(),
-            )
+            return Err(format!("--scheme must be dc, ull, async, ba, or pm, not {other:?}").into())
         }
     })
 }
@@ -306,6 +308,25 @@ fn crash_demo() -> CliResult {
     Ok(())
 }
 
+fn faults(parsed: &Parsed) -> CliResult {
+    let action = parsed.args.first().map(String::as_str).unwrap_or("sweep");
+    if action != "sweep" {
+        return Err(format!("faults supports only `sweep`, not {action:?}").into());
+    }
+    let cuts = parsed.u64_or("cuts", 216)?;
+    let seed = parsed.u64_or("seed", 7)?;
+    if cuts == 0 {
+        return Err("--cuts must be positive".into());
+    }
+    let report = twob_faults::sweep(cuts, seed);
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("{} invariant violation(s)", report.violations.len()).into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,10 +341,23 @@ mod tests {
     fn all_subcommands_run() {
         run(&["spec"]).unwrap();
         run(&["devices"]).unwrap();
-        run(&["latency", "--device", "twob-dma", "--op", "read", "--size", "2048"]).unwrap();
-        run(&["wal", "--scheme", "pm", "--commits", "50", "--payload", "64"]).unwrap();
+        run(&[
+            "latency", "--device", "twob-dma", "--op", "read", "--size", "2048",
+        ])
+        .unwrap();
+        run(&[
+            "wal",
+            "--scheme",
+            "pm",
+            "--commits",
+            "50",
+            "--payload",
+            "64",
+        ])
+        .unwrap();
         run(&["ycsb", "--log", "async", "--ops", "200", "--payload", "64"]).unwrap();
         run(&["crash-demo"]).unwrap();
+        run(&["faults", "sweep", "--cuts", "9", "--seed", "3"]).unwrap();
         run(&["help"]).unwrap();
     }
 
@@ -334,6 +368,8 @@ mod tests {
         assert!(run(&["latency", "--op", "erase"]).is_err());
         assert!(run(&["wal", "--scheme", "carrier-pigeon"]).is_err());
         assert!(run(&["replay"]).is_err());
+        assert!(run(&["faults", "retry"]).is_err());
+        assert!(run(&["faults", "sweep", "--cuts", "0"]).is_err());
     }
 
     #[test]
@@ -342,6 +378,13 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.txt");
         std::fs::write(&path, "W 0 2\nF\nR 0 2\nT 0 1\n").unwrap();
-        run(&["replay", "--trace", path.to_str().unwrap(), "--device", "dc"]).unwrap();
+        run(&[
+            "replay",
+            "--trace",
+            path.to_str().unwrap(),
+            "--device",
+            "dc",
+        ])
+        .unwrap();
     }
 }

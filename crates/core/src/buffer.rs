@@ -100,14 +100,20 @@ impl BaBuffer {
         self.inflight.iter().map(|(_, _, old)| old.len()).sum()
     }
 
-    /// Rolls back every fragment that had not landed by `at` (newest
-    /// first), returning how many bytes were lost.
+    /// Rolls back every fragment that had not landed by `at`, returning how
+    /// many bytes were lost.
+    ///
+    /// Fragments are unwound in reverse *apply* order, not landing order:
+    /// PCIe posted writes are FIFO, so apply order is the order the bytes
+    /// hit device DRAM, and each saved `old` snapshot is only valid once
+    /// every later-applied overlapping fragment has been undone first.
+    /// (Sorting by landing instant gives the same result while landings are
+    /// monotonic in apply order, but ties and fault-injected reorderings
+    /// would unwind overlapping writes in the wrong order.)
     pub fn power_loss(&mut self, at: SimTime) -> usize {
         let mut lost = 0;
-        // Undo newest-first so nested overwrites unwind correctly.
-        let mut pending: Vec<(SimTime, u64, Vec<u8>)> = std::mem::take(&mut self.inflight);
-        pending.sort_by_key(|(lands_at, _, _)| *lands_at);
-        while let Some((lands_at, offset, old)) = pending.pop() {
+        let pending: Vec<(SimTime, u64, Vec<u8>)> = std::mem::take(&mut self.inflight);
+        for (lands_at, offset, old) in pending.into_iter().rev() {
             if lands_at > at {
                 lost += old.len();
                 let start = offset as usize;

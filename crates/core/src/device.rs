@@ -114,8 +114,8 @@ impl TwoBSsd {
             cfg.internal_datapath_bytes_per_sec > 0,
             "2B-SSD needs the base device's internal datapath"
         );
-        let reserved_pages = u64::from(cfg.ftl.reserved_blocks)
-            * u64::from(cfg.geometry.pages_per_block);
+        let reserved_pages =
+            u64::from(cfg.ftl.reserved_blocks) * u64::from(cfg.geometry.pages_per_block);
         assert!(
             reserved_pages > spec.ba_buffer_pages(),
             "reserved area ({reserved_pages} pages) cannot hold the BA-buffer dump"
@@ -219,10 +219,16 @@ impl TwoBSsd {
             }
             for b in &entries[i + 1..] {
                 if a.buffer_overlaps(b.buffer_offset, b.len_bytes()) {
-                    return Err(format!("entries {} and {} overlap in the buffer", a.eid, b.eid));
+                    return Err(format!(
+                        "entries {} and {} overlap in the buffer",
+                        a.eid, b.eid
+                    ));
                 }
                 if a.lba_overlaps(b.start_lba, b.pages) {
-                    return Err(format!("entries {} and {} overlap in LBA space", a.eid, b.eid));
+                    return Err(format!(
+                        "entries {} and {} overlap in LBA space",
+                        a.eid, b.eid
+                    ));
                 }
             }
             // The LBA checker must gate every pinned range.
@@ -268,7 +274,9 @@ impl TwoBSsd {
         }
         self.table.insert(eid, buffer_offset, lba, pages)?;
         // Internal datapath: NAND → BA-buffer.
-        let read = match self.ssd.internal_read_pages(now + self.spec.api_overhead, lba, pages)
+        let read = match self
+            .ssd
+            .internal_read_pages(now + self.spec.api_overhead, lba, pages)
         {
             Ok(read) => read,
             Err(e) => {
@@ -337,11 +345,9 @@ impl TwoBSsd {
             .buffer
             .read(entry.buffer_offset, entry.len_bytes())
             .to_vec();
-        let done = self.ssd.internal_write_pages(
-            now + self.spec.api_overhead,
-            entry.start_lba,
-            &data,
-        )?;
+        let done =
+            self.ssd
+                .internal_write_pages(now + self.spec.api_overhead, entry.start_lba, &data)?;
         self.table.remove(eid)?;
         self.ssd.lba_checker_unpin(entry.start_lba, entry.pages);
         self.stats.flushes += 1;
@@ -364,7 +370,9 @@ impl TwoBSsd {
             .chan
             .sync_range(now, entry.buffer_offset, entry.len_bytes());
         for posted in &sync.posted {
-            let dram = self.atu.translate(posted.offset, posted.data.len() as u64)?;
+            let dram = self
+                .atu
+                .translate(posted.offset, posted.data.len() as u64)?;
             self.buffer.apply_posted(&twob_pcie::PostedWrite {
                 offset: dram,
                 data: posted.data.clone(),
@@ -410,7 +418,9 @@ impl TwoBSsd {
             .chan
             .sync_range(now, entry.buffer_offset + rel_offset, len);
         for posted in &sync.posted {
-            let dram = self.atu.translate(posted.offset, posted.data.len() as u64)?;
+            let dram = self
+                .atu
+                .translate(posted.offset, posted.data.len() as u64)?;
             self.buffer.apply_posted(&twob_pcie::PostedWrite {
                 offset: dram,
                 data: posted.data.clone(),
@@ -520,7 +530,9 @@ impl TwoBSsd {
         self.bar1.check(bar_offset, data.len() as u64)?;
         let outcome = self.chan.store(now, bar_offset, data);
         for posted in &outcome.posted {
-            let dram = self.atu.translate(posted.offset, posted.data.len() as u64)?;
+            let dram = self
+                .atu
+                .translate(posted.offset, posted.data.len() as u64)?;
             self.buffer.apply_posted(&twob_pcie::PostedWrite {
                 offset: dram,
                 data: posted.data.clone(),
@@ -564,7 +576,9 @@ impl TwoBSsd {
         self.bar1.check(bar_offset, len)?;
         let read = self.chan.read(now, len);
         for posted in &read.posted {
-            let dram = self.atu.translate(posted.offset, posted.data.len() as u64)?;
+            let dram = self
+                .atu
+                .translate(posted.offset, posted.data.len() as u64)?;
             self.buffer.apply_posted(&twob_pcie::PostedWrite {
                 offset: dram,
                 data: posted.data.clone(),
@@ -712,9 +726,7 @@ mod tests {
         let mut d = dev();
         let now = SimTime::ZERO;
         d.ba_pin(now, EntryId(0), 0, Lba(10), 2).unwrap();
-        let err = d
-            .write_pages(now, Lba(11), &vec![0u8; 4096])
-            .unwrap_err();
+        let err = d.write_pages(now, Lba(11), &vec![0u8; 4096]).unwrap_err();
         assert!(matches!(err, SsdError::GatedByLbaChecker { lba: 11 }));
         // After flush the gate lifts.
         d.ba_flush(now, EntryId(0)).unwrap();
@@ -790,7 +802,12 @@ mod tests {
         assert!(dump.dumped);
         d.power_on(store.retired_at + SimDuration::from_millis(1));
         let r = d
-            .mmio_read(store.retired_at + SimDuration::from_millis(2), EntryId(0), 0, 6)
+            .mmio_read(
+                store.retired_at + SimDuration::from_millis(2),
+                EntryId(0),
+                0,
+                6,
+            )
             .unwrap();
         assert_ne!(r.data, b"doomed", "unsynced bytes must not survive");
     }

@@ -8,9 +8,7 @@ use twob_ftl::Lba;
 use crate::TwoBError;
 
 /// Identifier of one mapping-table entry (the paper's `EID`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EntryId(pub u8);
 
 impl fmt::Display for EntryId {

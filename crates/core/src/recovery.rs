@@ -15,8 +15,8 @@
 
 use twob_ftl::Lba;
 use twob_nand::BlockAddr;
-use twob_ssd::Ssd;
 use twob_sim::crc32;
+use twob_ssd::Ssd;
 
 use crate::{BaBuffer, EntryId, MappingTable, TwoBSpec};
 
@@ -204,11 +204,7 @@ impl RecoveryManager {
     /// Attempts to restore a dump from the reserved blocks. Returns the
     /// restored mapping table and buffer contents, or `None` if no valid
     /// dump exists.
-    pub fn restore(
-        &self,
-        spec: &TwoBSpec,
-        ssd: &mut Ssd,
-    ) -> Option<(MappingTable, Vec<u8>, u64)> {
+    pub fn restore(&self, spec: &TwoBSpec, ssd: &mut Ssd) -> Option<(MappingTable, Vec<u8>, u64)> {
         let reserved: Vec<BlockAddr> = ssd.ftl().reserved_blocks();
         let pages_per_block = ssd.config().geometry.pages_per_block as u64;
         let nand = ssd.ftl_mut().nand_mut();
@@ -285,7 +281,11 @@ mod tests {
         let mut mgr = RecoveryManager::new();
         let outcome = mgr.dump(&spec, &mut ssd, &table, &buffer);
         assert!(!outcome.dumped);
-        assert!(outcome.reason.as_deref().unwrap_or("").contains("capacitors"));
+        assert!(outcome
+            .reason
+            .as_deref()
+            .unwrap_or("")
+            .contains("capacitors"));
     }
 
     #[test]

@@ -80,7 +80,9 @@ impl SharedTwoBSsd {
         lba: Lba,
         pages: u32,
     ) -> Result<ApiCompletion, TwoBError> {
-        self.inner.lock().ba_pin(now, eid, buffer_offset, lba, pages)
+        self.inner
+            .lock()
+            .ba_pin(now, eid, buffer_offset, lba, pages)
     }
 
     /// See [`TwoBSsd::ba_pin_auto`].

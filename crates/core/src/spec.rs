@@ -107,10 +107,7 @@ impl TwoBSpec {
             ("Storage medium".into(), "Single-bit NAND flash".into()),
             (
                 "Capacitance of electrolytic capacitors".into(),
-                format!(
-                    "{} uF x {}",
-                    self.capacitors_uf, self.capacitor_count
-                ),
+                format!("{} uF x {}", self.capacitors_uf, self.capacitor_count),
             ),
             (
                 "BA-buffer size".into(),
@@ -152,7 +149,10 @@ mod tests {
     fn dma_4k_matches_paper() {
         let spec = TwoBSpec::default();
         let us = spec.dma_latency(4096).as_micros_f64();
-        assert!((55.0..61.0).contains(&us), "4K DMA read {us:.1} us, paper ~58");
+        assert!(
+            (55.0..61.0).contains(&us),
+            "4K DMA read {us:.1} us, paper ~58"
+        );
     }
 
     #[test]
@@ -169,6 +169,8 @@ mod tests {
     fn table_rows_cover_table_i() {
         let rows = TwoBSpec::default().table_rows();
         assert_eq!(rows.len(), 8);
-        assert!(rows.iter().any(|(k, v)| k.contains("BA-buffer size") && v == "8 MB"));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k.contains("BA-buffer size") && v == "8 MB"));
     }
 }

@@ -10,17 +10,52 @@ use twob_ssd::BlockDevice;
 
 #[derive(Debug, Clone)]
 enum Call {
-    Pin { eid: u8, buf_page: u64, lba: u64, pages: u32 },
-    Flush { eid: u8 },
-    Sync { eid: u8 },
-    SyncRange { eid: u8, offset: u64, len: u64 },
-    EntryInfo { eid: u8 },
-    MmioWrite { eid: u8, offset: u64, len: usize, fill: u8 },
-    MmioRead { eid: u8, offset: u64, len: u64 },
-    Dma { eid: u8, offset: u64, len: u64 },
-    BlockWrite { lba: u64, fill: u8 },
-    BlockRead { lba: u64 },
-    Trim { lba: u64 },
+    Pin {
+        eid: u8,
+        buf_page: u64,
+        lba: u64,
+        pages: u32,
+    },
+    Flush {
+        eid: u8,
+    },
+    Sync {
+        eid: u8,
+    },
+    SyncRange {
+        eid: u8,
+        offset: u64,
+        len: u64,
+    },
+    EntryInfo {
+        eid: u8,
+    },
+    MmioWrite {
+        eid: u8,
+        offset: u64,
+        len: usize,
+        fill: u8,
+    },
+    MmioRead {
+        eid: u8,
+        offset: u64,
+        len: u64,
+    },
+    Dma {
+        eid: u8,
+        offset: u64,
+        len: u64,
+    },
+    BlockWrite {
+        lba: u64,
+        fill: u8,
+    },
+    BlockRead {
+        lba: u64,
+    },
+    Trim {
+        lba: u64,
+    },
     DeviceFlush,
     PowerCycle,
 }

@@ -8,6 +8,73 @@ use twob_pcie::PostedWrite;
 use twob_sim::{SimDuration, SimTime};
 use twob_ssd::BlockDevice;
 
+/// Pinned counterexample from `props.proptest-regressions`: two posted
+/// writes whose byte ranges overlap (101..127 and 126..155), both landing
+/// *after* the cut, must both unwind — including the shared byte 126.
+#[test]
+fn regression_overlapping_unlanded_writes_roll_back() {
+    let writes: [(u64, Vec<u8>, u64); 2] = [
+        (
+            101,
+            vec![
+                0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 139, 81, 84, 218, 89, 242,
+                77,
+            ],
+            571,
+        ),
+        (
+            126,
+            vec![
+                217, 131, 15, 81, 94, 184, 249, 115, 178, 14, 222, 221, 28, 171, 223, 204, 156, 39,
+                244, 26, 122, 20, 44, 106, 77, 163, 153, 53, 233,
+            ],
+            407,
+        ),
+    ];
+    let cut = 447u64;
+
+    let mut real = BaBuffer::new(256);
+    let mut model = vec![0u8; 256];
+    let cut_time = SimTime::from_nanos(cut);
+    let mut land_clock = 0u64;
+    for (offset, data, land_delta) in &writes {
+        let offset = offset % (256 - data.len() as u64);
+        land_clock += land_delta + 1;
+        let lands_at = SimTime::from_nanos(land_clock);
+        real.apply_posted(&PostedWrite {
+            offset,
+            data: data.clone(),
+            lands_at,
+        });
+        if lands_at <= cut_time {
+            model[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        }
+    }
+    real.power_loss(cut_time);
+    assert_eq!(real.read(0, 256), &model[..]);
+}
+
+/// Pinned counterexample from `props.proptest-regressions`
+/// (`seeds = [(3, 0), (1, 0)]`): after a 3-page entry is inserted at the
+/// buffer base, `free_buffer_offset(1)` must propose a window that then
+/// inserts cleanly.
+#[test]
+fn regression_free_offset_insertable_after_three_page_entry() {
+    let seeds: [(u32, u64); 2] = [(3, 0), (1, 0)];
+    let mut table = MappingTable::new(8, 64 << 10);
+    let mut next_lba = 0u64;
+    for (pages, lba_gap) in seeds {
+        let start = next_lba + lba_gap;
+        next_lba = start + u64::from(pages);
+        let eid = table.free_eid().expect("free eid");
+        let offset = table.free_buffer_offset(pages).expect("free offset");
+        assert!(
+            table.insert(eid, offset, Lba(start), pages).is_ok(),
+            "proposed window rejected for pages={pages} offset={offset}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

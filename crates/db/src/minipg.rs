@@ -245,9 +245,7 @@ impl MiniPg {
 
     /// Outgoing link count of `id`.
     pub fn link_count(&self, id: u64) -> usize {
-        self.links
-            .range((id, 0)..=(id, u64::MAX))
-            .count()
+        self.links.range((id, 0)..=(id, u64::MAX)).count()
     }
 
     fn apply(&mut self, op: &PgOp) {
@@ -565,8 +563,12 @@ mod tests {
         // can be extracted and its log region replayed, exactly as a crash
         // recovery would.
         let cfg = WalConfig::default();
-        let wal = BlockWal::new(Ssd::new(SsdConfig::ull_ssd().small()), cfg, CommitMode::Sync)
-            .unwrap();
+        let wal = BlockWal::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            cfg,
+            CommitMode::Sync,
+        )
+        .unwrap();
         let mut t = SimTime::ZERO;
         let mut wal = wal;
         let workload: Vec<Vec<PgOp>> = (0..10u64)

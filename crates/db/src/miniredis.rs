@@ -263,12 +263,8 @@ mod tests {
     #[test]
     fn aof_recovery_rebuilds_dict() {
         let cfg = WalConfig::default();
-        let mut aof = BlockWal::new(
-            Ssd::new(SsdConfig::dc_ssd().small()),
-            cfg,
-            CommitMode::Sync,
-        )
-        .unwrap();
+        let mut aof =
+            BlockWal::new(Ssd::new(SsdConfig::dc_ssd().small()), cfg, CommitMode::Sync).unwrap();
         let mut t = SimTime::ZERO;
         use twob_wal::WalWriter as _;
         for i in 0..10u32 {
@@ -277,7 +273,10 @@ mod tests {
                 .unwrap()
                 .commit_at;
         }
-        t = aof.append_commit(t, &encode_cmd(b"k4", None)).unwrap().commit_at;
+        t = aof
+            .append_commit(t, &encode_cmd(b"k4", None))
+            .unwrap()
+            .commit_at;
         let mut dev = aof.into_device();
         let replayed =
             twob_wal::replay(&mut dev, t, cfg.region_base_lba, cfg.region_pages).unwrap();
@@ -298,25 +297,21 @@ mod tests {
         // Lots of dead updates to few keys.
         for round in 0..20u8 {
             for k in 0..5u8 {
-                t = r
-                    .set(t, vec![b'k', k], vec![round; 32])
-                    .unwrap()
-                    .commit_at;
+                t = r.set(t, vec![b'k', k], vec![round; 32]).unwrap().commit_at;
             }
         }
         t = r.del(t, vec![b'k', 4]).unwrap().commit_at;
         // Rewrite into a fresh AOF.
-        let fresh = BlockWal::new(
-            Ssd::new(SsdConfig::dc_ssd().small()),
-            cfg,
-            CommitMode::Sync,
-        )
-        .unwrap();
+        let fresh =
+            BlockWal::new(Ssd::new(SsdConfig::dc_ssd().small()), cfg, CommitMode::Sync).unwrap();
         t = r.rewrite_aof(t, Box::new(fresh)).unwrap();
         // New AOF holds exactly one record per live key.
         assert_eq!(r.wal_stats().commits, 4);
         // Commands continue logging to the new AOF.
-        t = r.set(t, b"post".to_vec(), b"rewrite".to_vec()).unwrap().commit_at;
+        t = r
+            .set(t, b"post".to_vec(), b"rewrite".to_vec())
+            .unwrap()
+            .commit_at;
         assert_eq!(r.wal_stats().commits, 5);
         let _ = t;
     }
@@ -330,23 +325,18 @@ mod tests {
             t = r.set(t, vec![b'x', i], vec![i; 16]).unwrap().commit_at;
         }
         t = r.del(t, vec![b'x', 3]).unwrap().commit_at;
-        let fresh = BlockWal::new(
-            Ssd::new(SsdConfig::dc_ssd().small()),
-            cfg,
-            CommitMode::Sync,
-        )
-        .unwrap();
+        let fresh =
+            BlockWal::new(Ssd::new(SsdConfig::dc_ssd().small()), cfg, CommitMode::Sync).unwrap();
         t = r.rewrite_aof(t, Box::new(fresh)).unwrap();
         // Crash immediately after the rewrite: recover from the new AOF.
         // Extract the device by rebuilding the snapshot stream the same
         // deterministic way rewrite_aof did.
-        let mut replay_wal = BlockWal::new(
-            Ssd::new(SsdConfig::dc_ssd().small()),
-            cfg,
-            CommitMode::Sync,
-        )
-        .unwrap();
-        let mut keys: Vec<Vec<u8>> = (0..12u8).filter(|&i| i != 3).map(|i| vec![b'x', i]).collect();
+        let mut replay_wal =
+            BlockWal::new(Ssd::new(SsdConfig::dc_ssd().small()), cfg, CommitMode::Sync).unwrap();
+        let mut keys: Vec<Vec<u8>> = (0..12u8)
+            .filter(|&i| i != 3)
+            .map(|i| vec![b'x', i])
+            .collect();
         keys.sort();
         let snapshot: Vec<Vec<u8>> = keys
             .iter()
@@ -373,8 +363,7 @@ mod tests {
     #[test]
     fn runs_over_single_buffered_ba_wal() {
         // The paper's Redis port uses BA-WAL without double buffering.
-        let aof =
-            BaWal::new_single(TwoBSsd::small_for_tests(), WalConfig::default(), 8).unwrap();
+        let aof = BaWal::new_single(TwoBSsd::small_for_tests(), WalConfig::default(), 8).unwrap();
         let mut r = MiniRedis::new(Box::new(aof), EngineCosts::redis());
         let mut t = SimTime::from_nanos(1_000_000);
         for i in 0..50u32 {

@@ -298,8 +298,7 @@ mod tests {
             CommitMode::Sync,
         )
         .unwrap();
-        let mut db =
-            MiniRocks::with_memtable_budget(Box::new(wal), EngineCosts::rocksdb(), 2_000);
+        let mut db = MiniRocks::with_memtable_budget(Box::new(wal), EngineCosts::rocksdb(), 2_000);
         let mut t = SimTime::ZERO;
         for i in 0..60u32 {
             let key = format!("key-{i:04}").into_bytes();
@@ -325,7 +324,10 @@ mod tests {
         .unwrap();
         let mut db = MiniRocks::with_memtable_budget(Box::new(wal), EngineCosts::rocksdb(), 500);
         let mut t = SimTime::ZERO;
-        t = db.put(t, b"dup".to_vec(), b"v1".to_vec()).unwrap().commit_at;
+        t = db
+            .put(t, b"dup".to_vec(), b"v1".to_vec())
+            .unwrap()
+            .commit_at;
         // Force several rotations with filler, rewriting "dup" each round.
         for round in 2..6u8 {
             for i in 0..10u32 {
@@ -367,11 +369,7 @@ mod tests {
                 .commit_at;
         }
         assert!(db.compactions() > 0, "compaction never ran");
-        assert!(
-            db.run_count() <= 5,
-            "runs unbounded: {}",
-            db.run_count()
-        );
+        assert!(db.run_count() <= 5, "runs unbounded: {}", db.run_count());
         // Reads remain correct through compaction: last round wrote 19s,
         // then deleted key-3 (19 % 8 == 3).
         let (_, v) = db.get(t, b"key-5");

@@ -1,0 +1,231 @@
+//! Fault-injecting wrappers: a flush-faulting block device and a shared WAL
+//! handle that lets the harness reach the device behind a `Box<dyn WalWriter>`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use twob_ftl::Lba;
+use twob_sim::SimTime;
+use twob_ssd::{BlockDevice, BlockRead, SsdError};
+use twob_wal::{CommitOutcome, WalError, WalStats, WalWriter};
+
+use crate::plan::FlushFault;
+
+#[derive(Debug, Default)]
+struct FlushFaultState {
+    queue: VecDeque<FlushFault>,
+    flushes: u64,
+    dropped: u64,
+    duplicated: u64,
+}
+
+/// A shared handle onto the flush-fault queue of a [`FaultyLogDevice`].
+///
+/// The harness keeps one clone to arm faults mid-run while the device (and
+/// the WAL that owns it) holds the other.
+#[derive(Debug, Clone, Default)]
+pub struct FlushFaults(Rc<RefCell<FlushFaultState>>);
+
+impl FlushFaults {
+    /// Creates an empty fault queue.
+    pub fn new() -> Self {
+        FlushFaults::default()
+    }
+
+    /// Arms `fault` for the next host-issued flush.
+    pub fn arm(&self, fault: FlushFault) {
+        self.0.borrow_mut().queue.push_back(fault);
+    }
+
+    /// Total flush commands the device received.
+    pub fn flushes(&self) -> u64 {
+        self.0.borrow().flushes
+    }
+
+    /// Flush completions fabricated without draining the cache.
+    pub fn dropped(&self) -> u64 {
+        self.0.borrow().dropped
+    }
+
+    /// Flush commands executed twice.
+    pub fn duplicated(&self) -> u64 {
+        self.0.borrow().duplicated
+    }
+}
+
+/// A [`BlockDevice`] wrapper that injects faults into the flush path while
+/// passing reads and writes through untouched.
+///
+/// A `Drop` fault acknowledges the flush immediately without forwarding it —
+/// the lying-device failure mode. A `Duplicate` fault forwards the flush
+/// twice. On a capacitor-backed cache both must be harmless (the cache never
+/// loses data on power cuts), which is exactly the invariant the sweep
+/// verifies; on a volatile cache a dropped flush makes the following power
+/// cut tear off unflushed pages.
+#[derive(Debug)]
+pub struct FaultyLogDevice<D: BlockDevice> {
+    inner: D,
+    faults: FlushFaults,
+}
+
+impl<D: BlockDevice> FaultyLogDevice<D> {
+    /// Wraps `inner`, returning the device and the harness-side fault handle.
+    pub fn new(inner: D) -> (Self, FlushFaults) {
+        let faults = FlushFaults::new();
+        let dev = FaultyLogDevice {
+            inner,
+            faults: faults.clone(),
+        };
+        (dev, faults)
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped device, mutably (for power cuts and recovery reads).
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyLogDevice<D> {
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.inner.capacity_pages()
+    }
+
+    fn read_pages(&mut self, now: SimTime, lba: Lba, pages: u32) -> Result<BlockRead, SsdError> {
+        self.inner.read_pages(now, lba, pages)
+    }
+
+    fn write_pages(&mut self, now: SimTime, lba: Lba, data: &[u8]) -> Result<SimTime, SsdError> {
+        self.inner.write_pages(now, lba, data)
+    }
+
+    fn flush(&mut self, now: SimTime) -> SimTime {
+        let fault = {
+            let mut st = self.faults.0.borrow_mut();
+            st.flushes += 1;
+            st.queue.pop_front()
+        };
+        match fault {
+            Some(FlushFault::Drop) => {
+                self.faults.0.borrow_mut().dropped += 1;
+                now
+            }
+            Some(FlushFault::Duplicate) => {
+                self.faults.0.borrow_mut().duplicated += 1;
+                let first = self.inner.flush(now);
+                self.inner.flush(first)
+            }
+            None => self.inner.flush(now),
+        }
+    }
+}
+
+/// A clonable WAL handle: the engine owns one clone as its `Box<dyn
+/// WalWriter>`, the harness keeps the other to cut power on the underlying
+/// device and drive recovery after the engine is dropped.
+///
+/// The whole stack is single-threaded virtual time, so `Rc<RefCell<_>>` is
+/// sufficient; a borrow panic would indicate a genuine reentrancy bug.
+#[derive(Debug)]
+pub struct SharedWal<W: WalWriter>(Rc<RefCell<W>>);
+
+impl<W: WalWriter> SharedWal<W> {
+    /// Wraps a concrete WAL writer.
+    pub fn new(wal: W) -> Self {
+        SharedWal(Rc::new(RefCell::new(wal)))
+    }
+
+    /// Runs `f` with mutable access to the concrete writer (device access,
+    /// recovery entry points).
+    pub fn with<R>(&self, f: impl FnOnce(&mut W) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+impl<W: WalWriter> Clone for SharedWal<W> {
+    fn clone(&self) -> Self {
+        SharedWal(Rc::clone(&self.0))
+    }
+}
+
+impl<W: WalWriter> WalWriter for SharedWal<W> {
+    fn append_commit(&mut self, now: SimTime, payload: &[u8]) -> Result<CommitOutcome, WalError> {
+        self.0.borrow_mut().append_commit(now, payload)
+    }
+
+    fn append_batch(
+        &mut self,
+        now: SimTime,
+        payloads: &[Vec<u8>],
+    ) -> Result<CommitOutcome, WalError> {
+        self.0.borrow_mut().append_batch(now, payloads)
+    }
+
+    fn scheme(&self) -> String {
+        self.0.borrow().scheme()
+    }
+
+    fn stats(&self) -> WalStats {
+        self.0.borrow().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twob_ssd::{Ssd, SsdConfig};
+    use twob_wal::{BlockWal, CommitMode, WalConfig};
+
+    fn small_dev() -> Ssd {
+        Ssd::new(SsdConfig::dc_ssd().small())
+    }
+
+    #[test]
+    fn dropped_flush_acks_without_forwarding() {
+        let (mut dev, faults) = FaultyLogDevice::new(small_dev());
+        faults.arm(FlushFault::Drop);
+        let t = SimTime::from_nanos(10);
+        // A dropped flush completes instantly — no device time elapses.
+        assert_eq!(dev.flush(t), t);
+        assert_eq!(faults.dropped(), 1);
+        // The next flush is honest again.
+        assert!(dev.flush(t) >= t);
+        assert_eq!(faults.flushes(), 2);
+    }
+
+    #[test]
+    fn duplicated_flush_forwards_twice() {
+        let (mut dev, faults) = FaultyLogDevice::new(small_dev());
+        faults.arm(FlushFault::Duplicate);
+        let _ = dev.flush(SimTime::ZERO);
+        assert_eq!(faults.duplicated(), 1);
+        assert_eq!(faults.flushes(), 1);
+    }
+
+    #[test]
+    fn shared_wal_reaches_device_behind_trait_object() {
+        let (dev, _faults) = FaultyLogDevice::new(small_dev());
+        let wal = BlockWal::new(dev, WalConfig::default(), CommitMode::Sync).unwrap();
+        let shared = SharedWal::new(wal);
+        let mut boxed: Box<dyn WalWriter> = Box::new(shared.clone());
+        let out = boxed.append_commit(SimTime::ZERO, b"payload").unwrap();
+        assert!(out.durable_at.is_some());
+        // The harness-side clone still reaches the concrete device.
+        let label = shared.with(|w| w.device_mut().label().to_string());
+        assert!(!label.is_empty());
+        assert_eq!(shared.stats().commits, 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic fault schedules.
+
+use twob_sim::SimRng;
+
+/// A fault injected into the log device's flush path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushFault {
+    /// The flush completion is fabricated without draining the cache: the
+    /// host believes the flush happened, the device never performed it.
+    Drop,
+    /// The flush completion is delivered twice: the device drains its cache
+    /// twice for one host command.
+    Duplicate,
+}
+
+/// One deterministic fault schedule: a bounded workload, flush-path faults
+/// at chosen commit indices, and a single power cut at an arbitrary virtual
+/// instant after the last acknowledged commit.
+///
+/// Plans are value types: the same plan always produces the same virtual
+/// execution, byte for byte, so every sweep failure is replayable from
+/// `(engine, scheme, seed)` alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for both plan-derived randomness and the workload stream.
+    pub seed: u64,
+    /// Commits the workload issues before the power cut.
+    pub commits: u64,
+    /// Nanoseconds past the last commit's acknowledgement at which power
+    /// dies — the cut lands at an arbitrary `SimTime`, not on a commit
+    /// boundary.
+    pub cut_delay_ns: u64,
+    /// `(after_commit_index, fault)` pairs injected into the log device's
+    /// flush path, in commit order. Only block schemes have a host-visible
+    /// flush command; BA-WAL schedules ignore these.
+    pub flush_faults: Vec<(u64, FlushFault)>,
+    /// Undersize the capacitor bank so the power-loss dump's energy budget
+    /// fails (BA scheme only). The invariant then flips from "all synced
+    /// data survives" to "the loss is detected loudly, never silent".
+    pub weak_capacitors: bool,
+    /// Raw bit-error rate injected into the NAND medium (within the
+    /// controller's ECC budget), or `None` for a perfect medium.
+    pub nand_rber: Option<f64>,
+}
+
+impl FaultPlan {
+    /// Derives a random-but-deterministic plan from `seed`.
+    pub fn random(seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed ^ 0xFA01_7FA0_17FA_017F);
+        let commits = 8 + rng.next_u64_below(33);
+        let n_flush = rng.next_u64_below(4);
+        let mut flush_faults: Vec<(u64, FlushFault)> = (0..n_flush)
+            .map(|_| {
+                let at = rng.next_u64_below(commits);
+                let kind = if rng.chance(0.5) {
+                    FlushFault::Drop
+                } else {
+                    FlushFault::Duplicate
+                };
+                (at, kind)
+            })
+            .collect();
+        flush_faults.sort_by_key(|(at, _)| *at);
+        let weak_capacitors = rng.chance(0.12);
+        let nand_rber = if rng.chance(0.3) {
+            Some(1e-6 * (1.0 + rng.next_u64_below(9) as f64))
+        } else {
+            None
+        };
+        FaultPlan {
+            seed,
+            commits,
+            cut_delay_ns: rng.next_u64_below(3_000),
+            flush_faults,
+            weak_capacitors,
+            nand_rber,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        assert_eq!(FaultPlan::random(42), FaultPlan::random(42));
+        assert_ne!(FaultPlan::random(1), FaultPlan::random(2));
+    }
+
+    #[test]
+    fn plans_are_bounded() {
+        for seed in 0..200 {
+            let p = FaultPlan::random(seed);
+            assert!((8..=40).contains(&p.commits));
+            assert!(p.cut_delay_ns < 3_000);
+            assert!(p.flush_faults.len() < 4);
+            for (at, _) in &p.flush_faults {
+                assert!(*at < p.commits);
+            }
+            if let Some(rber) = p.nand_rber {
+                assert!(rber <= 1e-5, "rber {rber} would exceed the ECC budget");
+            }
+        }
+    }
+}

@@ -118,13 +118,14 @@ impl<D: BlockDevice, J: WalWriter> MiniFs<D, J> {
         journal_records: &[LogRecord],
         now: SimTime,
     ) -> Result<(Self, SimTime), FsError> {
-        let read_or_zeros = |dev: &mut D, t: SimTime, lba: u64| -> Result<(Vec<u8>, SimTime), FsError> {
-            match dev.read_pages(t, Lba(lba), 1) {
-                Ok(read) => Ok((read.data, read.complete_at)),
-                Err(SsdError::Unmapped(_)) => Ok((vec![0u8; PAGE], t)),
-                Err(e) => Err(e.into()),
-            }
-        };
+        let read_or_zeros =
+            |dev: &mut D, t: SimTime, lba: u64| -> Result<(Vec<u8>, SimTime), FsError> {
+                match dev.read_pages(t, Lba(lba), 1) {
+                    Ok(read) => Ok((read.data, read.complete_at)),
+                    Err(SsdError::Unmapped(_)) => Ok((vec![0u8; PAGE], t)),
+                    Err(e) => Err(e.into()),
+                }
+            };
         let (super_page, mut t) = read_or_zeros(&mut dev, now, 0)?;
         let (layout, _checkpoint_lsn) =
             Layout::decode_superblock(&super_page).map_err(FsError::Corrupt)?;
@@ -197,8 +198,7 @@ impl<D: BlockDevice, J: WalWriter> MiniFs<D, J> {
                     Err(SsdError::Unmapped(_)) => vec![0u8; PAGE],
                     Err(e) => return Err(e.into()),
                 };
-                image[*offset as usize..*offset as usize + bytes.len()]
-                    .copy_from_slice(bytes);
+                image[*offset as usize..*offset as usize + bytes.len()].copy_from_slice(bytes);
                 self.dev.write_pages(SimTime::ZERO, Lba(*page), &image)?;
             }
         }
@@ -515,7 +515,9 @@ impl<D: BlockDevice, J: WalWriter> MiniFs<D, J> {
                 bits[i / 8] |= 1 << (i % 8);
             }
         }
-        t = self.dev.write_pages(t, Lba(self.layout.bitmap_page), &bits)?;
+        t = self
+            .dev
+            .write_pages(t, Lba(self.layout.bitmap_page), &bits)?;
         // Superblock with the checkpointed LSN.
         t = self
             .dev
@@ -602,10 +604,7 @@ mod tests {
     fn errors_are_reported() {
         let mut fs = fresh();
         let t = fs.create(SimTime::ZERO, "x").unwrap();
-        assert!(matches!(
-            fs.create(t, "x"),
-            Err(FsError::AlreadyExists(_))
-        ));
+        assert!(matches!(fs.create(t, "x"), Err(FsError::AlreadyExists(_))));
         assert!(matches!(
             fs.create(t, &"n".repeat(200)),
             Err(FsError::NameTooLong { .. })
@@ -618,7 +617,10 @@ mod tests {
             fs.read(t, "x", 0, 1),
             Err(FsError::ReadPastEof { .. })
         ));
-        assert!(matches!(fs.read(t, "nope", 0, 0), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.read(t, "nope", 0, 0),
+            Err(FsError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -629,7 +631,10 @@ mod tests {
         for i in 0..capacity {
             t = fs.create(t, &format!("f{i}")).unwrap();
         }
-        assert!(matches!(fs.create(t, "one-more"), Err(FsError::NoFreeInode)));
+        assert!(matches!(
+            fs.create(t, "one-more"),
+            Err(FsError::NoFreeInode)
+        ));
     }
 
     #[test]
@@ -677,10 +682,7 @@ mod tests {
         // A data device with a volatile write cache loses in-flight writes
         // on power failure. Ordered-mode journaling cannot get the data
         // back; data=journal replays the extents from the journal.
-        for (mode, expect_repair) in [
-            (JournalMode::Ordered, false),
-            (JournalMode::Data, true),
-        ] {
+        for (mode, expect_repair) in [(JournalMode::Ordered, false), (JournalMode::Data, true)] {
             let journal_cfg = WalConfig::default();
             let mut data_cfg = SsdConfig::ull_ssd().small();
             data_cfg.capacitor_backed_cache = false;

@@ -12,10 +12,21 @@ use twob_wal::{BlockWal, CommitMode, WalConfig};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Create { file: u8 },
-    Write { file: u8, offset: u16, len: u8, fill: u8 },
-    Delete { file: u8 },
-    Read { file: u8 },
+    Create {
+        file: u8,
+    },
+    Write {
+        file: u8,
+        offset: u16,
+        len: u8,
+        fill: u8,
+    },
+    Delete {
+        file: u8,
+    },
+    Read {
+        file: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -1,7 +1,7 @@
 //! The page-mapped FTL proper.
 
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -531,8 +531,11 @@ mod tests {
         // free pool would be exhausted partway through.
         for round in 0u8..12 {
             for lba in 0..lbas {
-                ftl.write(Lba(lba), &page_of(round.wrapping_mul(31).wrapping_add(lba as u8)))
-                    .unwrap();
+                ftl.write(
+                    Lba(lba),
+                    &page_of(round.wrapping_mul(31).wrapping_add(lba as u8)),
+                )
+                .unwrap();
             }
         }
         let stats = ftl.stats();
@@ -598,10 +601,7 @@ mod tests {
         let reserved = ftl.reserved_blocks();
         assert_eq!(reserved.len(), 2);
         // Reserved blocks are the tail of the flat order.
-        assert_eq!(
-            reserved[0],
-            geom.block_from_flat(geom.blocks_total() - 2)
-        );
+        assert_eq!(reserved[0], geom.block_from_flat(geom.blocks_total() - 2));
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use twob_sim::{SimDuration, SimRng};
 
 use crate::{
-    BitErrorModel, BlockAddr, EccConfig, EccOutcome, NandError, NandGeometry, NandTiming,
-    PageAddr, TimingBreakdown,
+    BitErrorModel, BlockAddr, EccConfig, EccOutcome, NandError, NandGeometry, NandTiming, PageAddr,
+    TimingBreakdown,
 };
 
 /// Per-block bookkeeping.

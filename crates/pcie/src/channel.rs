@@ -183,8 +183,7 @@ impl HostByteChannel {
     /// guaranteed*: a completion-ordered verify read must follow.
     pub fn flush_wc(&mut self, now: SimTime) -> FlushOutcome {
         let dirty = self.lines.len() as u64;
-        let flushed_at =
-            now + self.timings.clflush_per_line * dirty + self.timings.mfence;
+        let flushed_at = now + self.timings.clflush_per_line * dirty + self.timings.mfence;
         let posted = self.drain_all(flushed_at);
         FlushOutcome { flushed_at, posted }
     }
@@ -216,10 +215,7 @@ impl HostByteChannel {
         let flushed_at = now + self.timings.clflush_per_line * lines + self.timings.mfence;
         let posted = self.drain_all(flushed_at);
         let durable_at = self.verify_read(flushed_at);
-        SyncOutcome {
-            durable_at,
-            posted,
-        }
+        SyncOutcome { durable_at, posted }
     }
 
     /// MMIO read of `len` bytes: drains WC buffers (x86 semantics), then
@@ -228,7 +224,10 @@ impl HostByteChannel {
         let posted = self.drain_all(now);
         let start = now.max(self.last_land.min(now + self.timings.posted_flight));
         let complete_at = start + self.timings.mmio_read(len);
-        ReadOutcome { complete_at, posted }
+        ReadOutcome {
+            complete_at,
+            posted,
+        }
     }
 
     /// Discards all WC-resident data, as a power failure would.
@@ -385,8 +384,7 @@ mod tests {
         // Applying fragments in order must leave 0xBB at bytes 4..12.
         let mut window = [0u8; 16];
         for p in &flush.posted {
-            window[p.offset as usize..p.offset as usize + p.data.len()]
-                .copy_from_slice(&p.data);
+            window[p.offset as usize..p.offset as usize + p.data.len()].copy_from_slice(&p.data);
         }
         assert_eq!(&window[0..4], &[0xAA; 4]);
         assert_eq!(&window[4..12], &[0xBB; 8]);

@@ -44,5 +44,7 @@ mod channel;
 mod timings;
 
 pub use bar::{AddressTranslationUnit, Bar, BarError};
-pub use channel::{FlushOutcome, HostByteChannel, PostedWrite, ReadOutcome, StoreOutcome, SyncOutcome};
+pub use channel::{
+    FlushOutcome, HostByteChannel, PostedWrite, ReadOutcome, StoreOutcome, SyncOutcome,
+};
 pub use timings::PcieTimings;

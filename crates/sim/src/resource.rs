@@ -47,6 +47,19 @@ pub struct Server {
     free_at: SimTime,
     busy_total: SimDuration,
     served: u64,
+    /// Merged, time-ordered busy intervals with the cumulative busy time
+    /// through each interval's end, for window-clamped utilization queries.
+    /// Contiguous back-to-back service extends the last interval, so the
+    /// vector only grows when the server actually went idle in between.
+    busy_intervals: Vec<BusyInterval>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BusyInterval {
+    start: SimTime,
+    end: SimTime,
+    /// Total busy time from the start of the timeline through `end`.
+    cum_busy: SimDuration,
 }
 
 impl Server {
@@ -63,6 +76,23 @@ impl Server {
         self.free_at = end;
         self.busy_total += service;
         self.served += 1;
+        match self.busy_intervals.last_mut() {
+            Some(last) if last.end == start => {
+                last.end = end;
+                last.cum_busy += service;
+            }
+            _ => {
+                let prev = self
+                    .busy_intervals
+                    .last()
+                    .map_or(SimDuration::ZERO, |i| i.cum_busy);
+                self.busy_intervals.push(BusyInterval {
+                    start,
+                    end,
+                    cum_busy: prev + service,
+                });
+            }
+        }
         ScheduledSpan { start, end }
     }
 
@@ -86,12 +116,28 @@ impl Server {
         self.served
     }
 
+    /// Busy time accumulated strictly within the window `[0, now]`: service
+    /// scheduled beyond `now` (the in-flight tail of the current operation,
+    /// or whole operations queued into the future) is excluded.
+    pub fn busy_within(&self, now: SimTime) -> SimDuration {
+        // First interval starting at or after `now` contributes nothing.
+        let idx = self.busy_intervals.partition_point(|i| i.start < now);
+        match idx.checked_sub(1).map(|i| self.busy_intervals[i]) {
+            None => SimDuration::ZERO,
+            // Clamp the straddling interval's tail to the window.
+            Some(last) => last.cum_busy - last.end.saturating_since(now),
+        }
+    }
+
     /// Utilization over the window ending at `now` (0.0 when `now` is zero).
+    ///
+    /// Accounting is clamped to the queried window, so a query issued while
+    /// an operation is mid-service can never report more than 1.0.
     pub fn utilization(&self, now: SimTime) -> f64 {
         if now == SimTime::ZERO {
             0.0
         } else {
-            self.busy_total.as_secs_f64() / now.saturating_since(SimTime::ZERO).as_secs_f64()
+            self.busy_within(now).as_secs_f64() / now.saturating_since(SimTime::ZERO).as_secs_f64()
         }
     }
 }
@@ -226,6 +272,45 @@ mod tests {
         assert_eq!(s.busy_total(), SimDuration::from_nanos(100));
         // Busy 100 ns over a 200 ns window: 50% utilized.
         assert!((s.utilization(SimTime::from_nanos(200)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_clamped_mid_service() {
+        let mut s = Server::new();
+        // One 100 ns operation starting at t=0; at t=50 the server has been
+        // busy for the entire queried window, so utilization is exactly 1.0
+        // — not 2.0 as full-service accounting would report.
+        s.schedule(SimTime::ZERO, SimDuration::from_nanos(100));
+        let u = s.utilization(SimTime::from_nanos(50));
+        assert!((u - 1.0).abs() < 1e-12, "mid-service utilization was {u}");
+        // With a second queued operation still pending past `now`, the
+        // window-clamped figure stays at 100%, never above.
+        s.schedule(SimTime::from_nanos(10), SimDuration::from_nanos(100));
+        let u = s.utilization(SimTime::from_nanos(150));
+        assert!((u - 1.0).abs() < 1e-12, "saturated utilization was {u}");
+    }
+
+    #[test]
+    fn utilization_excludes_future_spans_and_idle_gaps() {
+        let mut s = Server::new();
+        s.schedule(SimTime::ZERO, SimDuration::from_nanos(40));
+        // Idle gap 40..100, then another operation entirely after `now`.
+        s.schedule(SimTime::from_nanos(100), SimDuration::from_nanos(60));
+        // Query inside the gap: only the first span counts.
+        let u = s.utilization(SimTime::from_nanos(80));
+        assert!((u - 0.5).abs() < 1e-12, "gap utilization was {u}");
+        assert_eq!(
+            s.busy_within(SimTime::from_nanos(80)),
+            SimDuration::from_nanos(40)
+        );
+        // Query straddling the second span clamps its tail.
+        assert_eq!(
+            s.busy_within(SimTime::from_nanos(130)),
+            SimDuration::from_nanos(70)
+        );
+        // Query after everything sees the full busy total.
+        assert_eq!(s.busy_within(SimTime::from_nanos(500)), s.busy_total());
+        assert_eq!(s.busy_within(SimTime::ZERO), SimDuration::ZERO);
     }
 
     #[test]

@@ -196,8 +196,7 @@ mod tests {
         let mut parent = SimRng::seed_from(9);
         let mut c1 = parent.fork(1);
         let mut c2 = parent.fork(2);
-        let matches =
-            (0..64).filter(|_| c1.next_u64_below(1000) == c2.next_u64_below(1000));
+        let matches = (0..64).filter(|_| c1.next_u64_below(1000) == c2.next_u64_below(1000));
         assert!(matches.count() < 32);
     }
 

@@ -1,5 +1,6 @@
 //! Latency and throughput statistics.
 
+use std::cell::{Cell, RefCell};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -11,6 +12,11 @@ use crate::{SimDuration, SimTime};
 /// Samples are stored as raw nanosecond values; percentile queries sort
 /// lazily. This favours fidelity over memory, which is appropriate for the
 /// bounded experiment sizes in this reproduction (≤ a few million samples).
+///
+/// The sorted state is cached behind interior mutability so percentile
+/// queries — and [`fmt::Display`], which prints p50/p99 — work through
+/// `&self` without cloning the sample vector. The first percentile query
+/// after new samples arrive sorts in place; subsequent queries are O(1).
 ///
 /// # Example
 ///
@@ -26,8 +32,8 @@ use crate::{SimDuration, SimTime};
 /// ```
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Histogram {
-    samples: Vec<u64>,
-    sorted: bool,
+    samples: RefCell<Vec<u64>>,
+    sorted: Cell<bool>,
 }
 
 impl Histogram {
@@ -38,24 +44,24 @@ impl Histogram {
 
     /// Records one latency sample.
     pub fn record(&mut self, sample: SimDuration) {
-        self.samples.push(sample.as_nanos());
-        self.sorted = false;
+        self.samples.get_mut().push(sample.as_nanos());
+        self.sorted.set(false);
     }
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.samples.borrow().len()
     }
 
     /// Returns `true` if no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.samples.borrow().is_empty()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+    fn ensure_sorted(&self) {
+        if !self.sorted.get() {
+            self.samples.borrow_mut().sort_unstable();
+            self.sorted.set(true);
         }
     }
 
@@ -65,55 +71,56 @@ impl Histogram {
     /// # Panics
     ///
     /// Panics if `q` is outside `0.0 ..= 1.0`.
-    pub fn percentile(&mut self, q: f64) -> SimDuration {
+    pub fn percentile(&self, q: f64) -> SimDuration {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.samples.is_empty() {
+        self.ensure_sorted();
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return SimDuration::ZERO;
         }
-        self.ensure_sorted();
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len())
-            - 1;
-        SimDuration::from_nanos(self.samples[rank])
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+        SimDuration::from_nanos(samples[rank])
     }
 
     /// Arithmetic mean, or zero for an empty histogram.
     pub fn mean(&self) -> SimDuration {
-        if self.samples.is_empty() {
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return SimDuration::ZERO;
         }
-        let sum: u128 = self.samples.iter().map(|&s| u128::from(s)).sum();
-        SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
+        let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        SimDuration::from_nanos((sum / samples.len() as u128) as u64)
     }
 
     /// Smallest sample, or zero when empty.
     pub fn min(&self) -> SimDuration {
-        SimDuration::from_nanos(self.samples.iter().copied().min().unwrap_or(0))
+        SimDuration::from_nanos(self.samples.borrow().iter().copied().min().unwrap_or(0))
     }
 
     /// Largest sample, or zero when empty.
     pub fn max(&self) -> SimDuration {
-        SimDuration::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+        SimDuration::from_nanos(self.samples.borrow().iter().copied().max().unwrap_or(0))
     }
 
     /// Merges another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        self.samples
+            .get_mut()
+            .extend_from_slice(&other.samples.borrow());
+        self.sorted.set(false);
     }
 }
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut h = self.clone();
         write!(
             f,
             "n={} mean={} p50={} p99={} max={}",
-            h.len(),
-            h.mean(),
-            h.percentile(0.50),
-            h.percentile(0.99),
-            h.max()
+            self.len(),
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.max()
         )
     }
 }
@@ -298,8 +305,26 @@ mod tests {
     }
 
     #[test]
-    fn histogram_empty_is_zero() {
+    fn histogram_display_is_clone_free_and_caches_sort() {
         let mut h = Histogram::new();
+        for ns in [5u64, 1, 3, 2, 4] {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        // Display works through a shared reference (no clone, no &mut).
+        let shared: &Histogram = &h;
+        let text = format!("{shared}");
+        assert!(text.starts_with("n=5 "), "unexpected display: {text}");
+        // The sort is cached: a later percentile query through &self agrees.
+        assert_eq!(shared.percentile(0.5), SimDuration::from_nanos(3));
+        // Recording again invalidates the cache.
+        h.record(SimDuration::from_nanos(0));
+        assert_eq!(h.percentile(0.0), SimDuration::ZERO);
+        assert_eq!(h.percentile(1.0), SimDuration::from_nanos(5));
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::new();
         assert!(h.is_empty());
         assert_eq!(h.percentile(0.5), SimDuration::ZERO);
         assert_eq!(h.mean(), SimDuration::ZERO);

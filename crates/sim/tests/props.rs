@@ -1,7 +1,7 @@
 //! Property-based tests of the simulation kernel's invariants.
 
 use proptest::prelude::*;
-use twob_sim::{crc32, Histogram, MultiServer, Server, SimDuration, SimTime, SimRng, Zipfian};
+use twob_sim::{crc32, Histogram, MultiServer, Server, SimDuration, SimRng, SimTime, Zipfian};
 
 proptest! {
     /// A server never starts a request before its arrival, never ends it

@@ -215,7 +215,11 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for cfg in [SsdConfig::dc_ssd(), SsdConfig::ull_ssd(), SsdConfig::base_2b()] {
+        for cfg in [
+            SsdConfig::dc_ssd(),
+            SsdConfig::ull_ssd(),
+            SsdConfig::base_2b(),
+        ] {
             assert!(cfg.validate().is_ok(), "{} invalid", cfg.name);
         }
     }

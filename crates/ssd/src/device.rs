@@ -175,11 +175,7 @@ impl Ssd {
                 let effective = io.timing.die_time / u64::from(self.cfg.program_parallelism);
                 self.dies[die_idx].schedule(xfer.end, effective).end
             }
-            FtlOpKind::Erase => {
-                self.dies[die_idx]
-                    .schedule(start, io.timing.die_time)
-                    .end
-            }
+            FtlOpKind::Erase => self.dies[die_idx].schedule(start, io.timing.die_time).end,
         }
     }
 
@@ -439,8 +435,11 @@ impl Ssd {
                 let result = self.ftl.read(cur)?;
                 let nand_done = self.schedule_ios(now, &result.ios);
                 data.extend_from_slice(&result.data);
-                complete_at = complete_at
-                    .max(self.internal_engine.schedule(nand_done, engine_per_page).end);
+                complete_at = complete_at.max(
+                    self.internal_engine
+                        .schedule(nand_done, engine_per_page)
+                        .end,
+                );
             } else {
                 // Unwritten pages read as zeroes, like a fresh drive.
                 data.extend_from_slice(&vec![0u8; page_size]);

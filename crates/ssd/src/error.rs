@@ -58,7 +58,10 @@ impl fmt::Display for SsdError {
             SsdError::EmptyRequest => write!(f, "zero-length request"),
             SsdError::Unmapped(lba) => write!(f, "lba {lba} is unmapped"),
             SsdError::GatedByLbaChecker { lba } => {
-                write!(f, "block write to lba {lba} gated: range pinned to BA-buffer")
+                write!(
+                    f,
+                    "block write to lba {lba} gated: range pinned to BA-buffer"
+                )
             }
             SsdError::PoweredOff => write!(f, "device is powered off"),
             SsdError::Ftl(e) => write!(f, "ftl: {e}"),

@@ -23,8 +23,7 @@ pub trait BlockDevice {
     /// # Errors
     ///
     /// Device-specific; see [`SsdError`].
-    fn read_pages(&mut self, now: SimTime, lba: Lba, pages: u32)
-        -> Result<BlockRead, SsdError>;
+    fn read_pages(&mut self, now: SimTime, lba: Lba, pages: u32) -> Result<BlockRead, SsdError>;
 
     /// Writes whole pages starting at `lba`, returning the durable-ack
     /// instant.
@@ -51,12 +50,7 @@ impl BlockDevice for Ssd {
         Ssd::capacity_pages(self)
     }
 
-    fn read_pages(
-        &mut self,
-        now: SimTime,
-        lba: Lba,
-        pages: u32,
-    ) -> Result<BlockRead, SsdError> {
+    fn read_pages(&mut self, now: SimTime, lba: Lba, pages: u32) -> Result<BlockRead, SsdError> {
         self.read(now, lba, pages)
     }
 

@@ -71,11 +71,7 @@ impl BaWal {
     /// # Errors
     ///
     /// As for [`BaWal::new`].
-    pub fn new_single(
-        dev: TwoBSsd,
-        cfg: WalConfig,
-        window_pages: u32,
-    ) -> Result<Self, WalError> {
+    pub fn new_single(dev: TwoBSsd, cfg: WalConfig, window_pages: u32) -> Result<Self, WalError> {
         BaWal::with_buffers(dev, cfg, window_pages, 1)
     }
 
@@ -175,10 +171,8 @@ impl BaWal {
         // Re-pin the flushed half at the next segment, wrapping within the
         // region. Pin cost rides the internal datapath, overlapping the
         // host's appends to the other half.
-        let next_lba = Lba(
-            self.cfg.region_base_lba
-                + self.cursor_pages % u64::from(self.cfg.region_pages),
-        );
+        let next_lba =
+            Lba(self.cfg.region_base_lba + self.cursor_pages % u64::from(self.cfg.region_pages));
         self.cursor_pages += u64::from(self.half_pages);
         let pin = self.dev.ba_pin(
             flush.complete_at,
@@ -210,12 +204,7 @@ impl BaWal {
         }
         // Every half's re-pin follows its flush, so the latest ready_at
         // bounds when all data is durable on NAND.
-        let settled = self
-            .halves
-            .iter()
-            .map(|h| h.ready_at)
-            .max()
-            .unwrap_or(t);
+        let settled = self.halves.iter().map(|h| h.ready_at).max().unwrap_or(t);
         Ok(t.max(settled))
     }
 
@@ -230,9 +219,7 @@ impl BaWal {
     pub fn recover_buffered(&mut self, now: SimTime) -> Result<Vec<LogRecord>, WalError> {
         let mut records = Vec::new();
         for entry in self.dev.entries() {
-            let read = self
-                .dev
-                .ba_read_dma(now, entry.eid, 0, entry.len_bytes())?;
+            let read = self.dev.ba_read_dma(now, entry.eid, 0, entry.len_bytes())?;
             let outcome = crate::decode_stream(&read.data);
             records.extend(outcome.records);
         }
@@ -260,13 +247,11 @@ impl WalWriter for BaWal {
             t = t.max(self.rotate(t)?);
         }
         let half = self.halves[self.active];
-        let store = self
-            .dev
-            .mmio_write(t, half.eid, half.used, &bytes)?;
+        let store = self.dev.mmio_write(t, half.eid, half.used, &bytes)?;
         // Phase 2 — commit: sync exactly the appended bytes.
-        let sync = self
-            .dev
-            .ba_sync_range(store.retired_at, half.eid, half.used, bytes.len() as u64)?;
+        let sync =
+            self.dev
+                .ba_sync_range(store.retired_at, half.eid, half.used, bytes.len() as u64)?;
         self.halves[self.active].used += bytes.len() as u64;
         self.stats.commits += 1;
         self.stats.payload_bytes += payload.len() as u64;
@@ -458,9 +443,7 @@ mod tests {
         let dump = w.device_mut().power_loss(t);
         assert!(dump.dumped);
         w.device_mut().power_on(t + SimDuration::from_millis(5));
-        let records = w
-            .recover_buffered(t + SimDuration::from_millis(6))
-            .unwrap();
+        let records = w.recover_buffered(t + SimDuration::from_millis(6)).unwrap();
         assert_eq!(records.len(), 10);
         for (i, rec) in records.iter().enumerate() {
             assert_eq!(rec.payload, format!("surv-{i}").as_bytes());
@@ -509,7 +492,14 @@ mod tests {
         ));
         // Halves exceeding the BA-buffer (64 KiB in the test device).
         assert!(matches!(
-            BaWal::new(TwoBSsd::small_for_tests(), WalConfig { region_pages: 40, ..WalConfig::default() }, 10),
+            BaWal::new(
+                TwoBSsd::small_for_tests(),
+                WalConfig {
+                    region_pages: 40,
+                    ..WalConfig::default()
+                },
+                10
+            ),
             Err(WalError::BadConfig(_))
         ));
     }
@@ -551,7 +541,10 @@ mod tests {
         for rec in &buffered {
             assert_eq!(rec.payload, payloads[rec.lsn.0 as usize]);
         }
-        assert!(buffered.iter().any(|r| r.lsn.0 == 29), "newest record present");
+        assert!(
+            buffered.iter().any(|r| r.lsn.0 == 29),
+            "newest record present"
+        );
     }
 
     #[test]

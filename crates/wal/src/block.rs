@@ -280,7 +280,12 @@ mod tests {
         assert_eq!(out.durable_at, Some(out.commit_at));
         assert!(out.risk_window().is_none());
         // Commit waits for device write + flush: ≥ 10 us on ULL.
-        assert!(out.commit_at.saturating_since(SimTime::ZERO).as_micros_f64() > 9.0);
+        assert!(
+            out.commit_at
+                .saturating_since(SimTime::ZERO)
+                .as_micros_f64()
+                > 9.0
+        );
     }
 
     #[test]
@@ -290,7 +295,12 @@ mod tests {
         let window = out.risk_window().expect("async must carry risk");
         assert!(window.as_micros_f64() > 1.0);
         // Commit itself is sub-microsecond (host memcpy only).
-        assert!(out.commit_at.saturating_since(SimTime::ZERO).as_micros_f64() < 1.0);
+        assert!(
+            out.commit_at
+                .saturating_since(SimTime::ZERO)
+                .as_micros_f64()
+                < 1.0
+        );
     }
 
     #[test]
@@ -355,9 +365,12 @@ mod tests {
             region_pages: u32::MAX,
             ..WalConfig::default()
         };
-        let err =
-            BlockWal::new(Ssd::new(SsdConfig::ull_ssd().small()), cfg, CommitMode::Sync)
-                .unwrap_err();
+        let err = BlockWal::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            cfg,
+            CommitMode::Sync,
+        )
+        .unwrap_err();
         assert!(matches!(err, WalError::BadConfig(_)));
     }
 
@@ -390,8 +403,13 @@ mod tests {
         // The batch replays identically to the solo stream.
         let cfg = WalConfig::default();
         let mut dev = grouped.into_device();
-        let replayed = replay(&mut dev, out.commit_at, cfg.region_base_lba, cfg.region_pages)
-            .unwrap();
+        let replayed = replay(
+            &mut dev,
+            out.commit_at,
+            cfg.region_base_lba,
+            cfg.region_pages,
+        )
+        .unwrap();
         assert_eq!(replayed.records.len(), 20);
         for (i, rec) in replayed.records.iter().enumerate() {
             assert_eq!(rec.payload, payloads[i]);

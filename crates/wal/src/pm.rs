@@ -111,10 +111,8 @@ impl<D: BlockDevice> PmWal<D> {
 
     /// Flushes the active half through the block stack and switches halves.
     fn rotate(&mut self, at: SimTime) -> Result<SimTime, WalError> {
-        let lba = Lba(
-            self.cfg.region_base_lba
-                + self.cursor_pages % u64::from(self.cfg.region_pages),
-        );
+        let lba =
+            Lba(self.cfg.region_base_lba + self.cursor_pages % u64::from(self.cfg.region_pages));
         self.cursor_pages += u64::from(self.half_pages);
         let data = self.halves[self.active].data.clone();
         let ack = self.dev.write_pages(at, lba, &data)?;

@@ -58,11 +58,7 @@ impl ClientPool {
     /// The earliest client clock (useful as the measurement window start
     /// right after construction).
     pub fn earliest(&self) -> SimTime {
-        self.clocks
-            .iter()
-            .copied()
-            .min()
-            .expect("non-empty pool")
+        self.clocks.iter().copied().min().expect("non-empty pool")
     }
 
     /// Number of clients.
@@ -104,16 +100,15 @@ impl ClientPool {
 
     /// The latest client clock — the workload's virtual makespan.
     pub fn makespan(&self) -> SimTime {
-        self.clocks
-            .iter()
-            .copied()
-            .max()
-            .expect("non-empty pool")
+        self.clocks.iter().copied().max().expect("non-empty pool")
     }
 
     /// Throughput in operations per virtual second over the makespan.
     pub fn ops_per_sec(&self) -> f64 {
-        let secs = self.makespan().saturating_since(SimTime::ZERO).as_secs_f64();
+        let secs = self
+            .makespan()
+            .saturating_since(SimTime::ZERO)
+            .as_secs_f64();
         if secs == 0.0 {
             0.0
         } else {

@@ -71,10 +71,7 @@ impl LinkbenchConfig {
     ///
     /// Returns the actual sum when it is off by more than 1 %.
     pub fn validate(&self) -> Result<(), f64> {
-        let sum = self.get_link_list
-            + self.count_links
-            + self.get_node
-            + self.write_fraction();
+        let sum = self.get_link_list + self.count_links + self.get_node + self.write_fraction();
         if (sum - 1.0).abs() < 0.01 {
             Ok(())
         } else {

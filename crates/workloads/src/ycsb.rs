@@ -137,7 +137,10 @@ mod tests {
         let n = 10_000;
         let updates = (0..n).filter(|_| wl.next_op(&mut rng).is_update()).count();
         let fraction = updates as f64 / n as f64;
-        assert!((0.47..0.53).contains(&fraction), "update fraction {fraction}");
+        assert!(
+            (0.47..0.53).contains(&fraction),
+            "update fraction {fraction}"
+        );
     }
 
     #[test]

@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use twob_sim::{SimDuration, SimRng, SimTime};
 use twob_workloads::{
-    parse_trace, ClientPool, LinkbenchConfig, LinkbenchWorkload, TraceOp, YcsbConfig,
-    YcsbWorkload,
+    parse_trace, ClientPool, LinkbenchConfig, LinkbenchWorkload, TraceOp, YcsbConfig, YcsbWorkload,
 };
 
 proptest! {

@@ -36,12 +36,7 @@ fn main() {
                         .mmio_write(issue, EntryId(i), used, record.as_bytes())
                         .expect("store");
                     let sync = dev
-                        .ba_sync_range(
-                            store.retired_at,
-                            EntryId(i),
-                            used,
-                            record.len() as u64,
-                        )
+                        .ba_sync_range(store.retired_at, EntryId(i), used, record.len() as u64)
                         .expect("sync");
                     worst = worst.max(sync.complete_at.saturating_since(issue));
                     used += record.len() as u64;
@@ -60,9 +55,7 @@ fn main() {
     let mut reports: Vec<_> = rx.iter().collect();
     reports.sort_by_key(|(i, _, _)| *i);
     for (i, done_at, worst) in &reports {
-        println!(
-            "tenant {i}: finished at {done_at}, worst durable commit {worst}"
-        );
+        println!("tenant {i}: finished at {done_at}, worst durable commit {worst}");
     }
     let stats = dev.stats();
     println!(

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("8 KiB via read-DMA engine: {}", dma.complete_at - t2);
     let t3 = dma.complete_at;
     let crawl = dev.mmio_read(t3, EntryId(0), 0, 8192)?;
-    println!("8 KiB via raw MMIO:        {} (8-byte TLPs!)", crawl.complete_at - t3);
+    println!(
+        "8 KiB via raw MMIO:        {} (8-byte TLPs!)",
+        crawl.complete_at - t3
+    );
     assert_eq!(dma.data, crawl.data);
 
     // Release the pin; the gate lifts.

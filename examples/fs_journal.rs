@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimTime::ZERO,
     )?;
     let block_rate = churn(&mut block_fs, 300);
-    println!("journal = {:<22} {:>10.0} metadata ops/s", block_fs.journal_scheme(), block_rate);
+    println!(
+        "journal = {:<22} {:>10.0} metadata ops/s",
+        block_fs.journal_scheme(),
+        block_rate
+    );
 
     let mut ba_fs = MiniFs::format(
         Ssd::new(SsdConfig::dc_ssd().small()),
@@ -43,8 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimTime::ZERO,
     )?;
     let ba_rate = churn(&mut ba_fs, 300);
-    println!("journal = {:<22} {:>10.0} metadata ops/s", ba_fs.journal_scheme(), ba_rate);
-    println!("\nspeed-up from the byte path: {:.2}x", ba_rate / block_rate);
+    println!(
+        "journal = {:<22} {:>10.0} metadata ops/s",
+        ba_fs.journal_scheme(),
+        ba_rate
+    );
+    println!(
+        "\nspeed-up from the byte path: {:.2}x",
+        ba_rate / block_rate
+    );
 
     // Crash-recovery drill on the BA-journal filesystem.
     println!("\n== crash-recovery drill ==");
@@ -54,10 +65,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (data_dev, mut journal) = ba_fs.into_parts();
     let dump = journal.device_mut().power_loss(t);
-    println!("power loss: capacitor dump wrote {} pages", dump.pages_written);
-    journal.device_mut().power_on(t + SimDuration::from_millis(1));
+    println!(
+        "power loss: capacitor dump wrote {} pages",
+        dump.pages_written
+    );
+    journal
+        .device_mut()
+        .power_on(t + SimDuration::from_millis(1));
     let records = journal.recover_buffered(t + SimDuration::from_millis(2))?;
-    println!("recovered {} journal records from the BA-buffer", records.len());
+    println!(
+        "recovered {} journal records from the BA-buffer",
+        records.len()
+    );
 
     let (mut recovered, t2) = MiniFs::mount(
         data_dev,

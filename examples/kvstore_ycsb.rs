@@ -56,11 +56,7 @@ fn main() {
         payload,
     );
 
-    let ba = run(
-        twob_bench_wal(),
-        "BA-WAL on 2B-SSD",
-        payload,
-    );
+    let ba = run(twob_bench_wal(), "BA-WAL on 2B-SSD", payload);
 
     println!("\nspeed-up: {:.2}x (paper Fig 9 reports 1.2-2.8x)", ba / dc);
 }

@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use twob::core::{EntryId, TwoBSsd, TwoBError};
+use twob::core::{EntryId, TwoBError, TwoBSsd};
 use twob::ftl::Lba;
 use twob::sim::SimTime;
 use twob::ssd::BlockDevice;
@@ -14,8 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let now = SimTime::ZERO;
 
     println!("== 2B-SSD quickstart ==");
-    println!("device: {}, page size {} B, {} pages exported",
-        dev.label(), dev.page_size(), dev.capacity_pages());
+    println!(
+        "device: {}, page size {} B, {} pages exported",
+        dev.label(),
+        dev.page_size(),
+        dev.capacity_pages()
+    );
 
     // 1. Write a "file" (two pages) through the ordinary NVMe block path.
     let file_lba = Lba(10);
@@ -27,33 +31,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Pin the same pages into the BA-buffer: the file is now *also*
     //    byte-addressable through BAR1 MMIO.
     let pin = dev.ba_pin(t, EntryId(0), 0, file_lba, 2)?;
-    println!("BA_PIN completed after {} (internal NAND->DRAM copy)",
-        pin.complete_at - t);
+    println!(
+        "BA_PIN completed after {} (internal NAND->DRAM copy)",
+        pin.complete_at - t
+    );
 
     // 3. Read a few bytes through the byte path - no block I/O involved.
     let read = dev.mmio_read(pin.complete_at, EntryId(0), 0, 20)?;
-    println!("MMIO read: {:?} ({})",
+    println!(
+        "MMIO read: {:?} ({})",
         String::from_utf8_lossy(&read.data),
-        read.complete_at - pin.complete_at);
+        read.complete_at - pin.complete_at
+    );
 
     // 4. Append a tiny record with a DRAM-like-latency durable write:
     //    MMIO store + BA_SYNC (clflush + mfence + write-verify read).
     let store = dev.mmio_write(read.complete_at, EntryId(0), 4096, b"tiny commit record")?;
     let sync = dev.ba_sync_range(store.retired_at, EntryId(0), 4096, 18)?;
-    println!("\npersistent byte write: store {} + sync {} = {} total",
+    println!(
+        "\npersistent byte write: store {} + sync {} = {} total",
         store.retired_at - read.complete_at,
         sync.complete_at - store.retired_at,
-        sync.complete_at - read.complete_at);
+        sync.complete_at - read.complete_at
+    );
 
     // 5. BA_FLUSH moves the whole window back to NAND and releases it.
     let flush = dev.ba_flush(sync.complete_at, EntryId(0))?;
-    println!("BA_FLUSH to NAND took {}", flush.complete_at - sync.complete_at);
+    println!(
+        "BA_FLUSH to NAND took {}",
+        flush.complete_at - sync.complete_at
+    );
 
     // 6. The block path sees the byte-path update.
     let block = dev.read_pages(flush.complete_at, Lba(11), 1)?;
     assert_eq!(&block.data[..18], b"tiny commit record");
-    println!("\nblock read confirms the byte-path update: {:?}",
-        String::from_utf8_lossy(&block.data[..18]));
+    println!(
+        "\nblock read confirms the byte-path update: {:?}",
+        String::from_utf8_lossy(&block.data[..18])
+    );
 
     // Trying to flush a dead entry is an error the device catches.
     match dev.ba_flush(flush.complete_at, EntryId(0)) {

@@ -64,8 +64,7 @@ fn main() {
     let (us, waf, risky) = drive(&mut ull_async, commits, payload);
     rows.push((ull_async.scheme(), us, waf, risky));
 
-    let mut ba = BaWal::new(TwoBSsd::small_for_tests(), WalConfig::default(), 8)
-        .expect("ba wal");
+    let mut ba = BaWal::new(TwoBSsd::small_for_tests(), WalConfig::default(), 8).expect("ba wal");
     let (us, waf, risky) = drive(&mut ba, commits, payload);
     rows.push((ba.scheme(), us, waf, risky));
 

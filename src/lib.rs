@@ -18,6 +18,8 @@
 //! - [`db`] — miniature PostgreSQL/RocksDB/Redis-style engines.
 //! - [`fs`] — a journaling mini-filesystem with a pluggable journal.
 //! - [`workloads`] — Linkbench-like, YCSB, and FIO-like drivers.
+//! - [`faults`] — deterministic fault injection and the crash-consistency
+//!   harness (power cuts, flush faults, NAND errors, recovery invariants).
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@
 
 pub use twob_core as core;
 pub use twob_db as db;
+pub use twob_faults as faults;
 pub use twob_fs as fs;
 pub use twob_ftl as ftl;
 pub use twob_nand as nand;

@@ -113,7 +113,9 @@ fn minirocks_state_recovers_from_ba_wal_after_crash() {
     // Crash the shadow device, restore, recover buffered records.
     let dump = shadow.device_mut().power_loss(t2);
     assert!(dump.dumped);
-    shadow.device_mut().power_on(t2 + SimDuration::from_millis(1));
+    shadow
+        .device_mut()
+        .power_on(t2 + SimDuration::from_millis(1));
     let records = shadow
         .recover_buffered(t2 + SimDuration::from_millis(2))
         .unwrap();

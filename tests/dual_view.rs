@@ -26,7 +26,9 @@ fn file_is_coherent_across_paths_and_power_cycles() {
     t = read.complete_at;
 
     // Patch bytes 100..116 through MMIO, sync, crash, recover.
-    let store = dev.mmio_write(t, EntryId(0), 100, b"patched-via-BAR1").unwrap();
+    let store = dev
+        .mmio_write(t, EntryId(0), 100, b"patched-via-BAR1")
+        .unwrap();
     let sync = dev.ba_sync(store.retired_at, EntryId(0)).unwrap();
     let dump = dev.power_loss(sync.complete_at);
     assert!(dump.dumped);
@@ -110,9 +112,7 @@ fn all_eight_entries_usable_concurrently() {
     assert!(dev.ba_pin(t, EntryId(0), 0, Lba(60), 1).is_err());
     // Each window is independently writable and flushable.
     for i in 0..8u8 {
-        let store = dev
-            .mmio_write(t, EntryId(i), 0, &[i + 1; 32])
-            .unwrap();
+        let store = dev.mmio_write(t, EntryId(i), 0, &[i + 1; 32]).unwrap();
         let sync = dev.ba_sync(store.retired_at, EntryId(i)).unwrap();
         t = sync.complete_at;
     }

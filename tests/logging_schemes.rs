@@ -4,9 +4,7 @@
 use twob::core::TwoBSsd;
 use twob::sim::SimTime;
 use twob::ssd::{Ssd, SsdConfig};
-use twob::wal::{
-    BaWal, BlockWal, CommitMode, PmWal, WalConfig, WalWriter,
-};
+use twob::wal::{BaWal, BlockWal, CommitMode, PmWal, WalConfig, WalWriter};
 
 fn drive(wal: &mut dyn WalWriter, n: u64) -> (f64, bool, bool) {
     let start = SimTime::from_nanos(1_000_000);

@@ -1,0 +1,119 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark runner exposing the subset of the
+//! criterion API the workspace's benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. It runs a short warmup, then measures batches and reports the
+//! mean per-iteration time — enough to spot simulator performance
+//! regressions by eye, with no statistics machinery.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver handed to each registered function.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1_000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts criterion's sample-count knob. The stand-in measures on a
+    /// time budget rather than a sample count, so the value only scales
+    /// the measurement window (more samples → longer window).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.measure = Duration::from_millis(10) * (n.clamp(10, 500) as u32);
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints the mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{name:<32} {mean_ns:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Per-benchmark measurement state.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing it after a warmup period.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run untimed until the warmup budget elapses.
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            std_black_box(routine());
+        }
+        // Measure in batches until the measurement budget elapses.
+        let begin = Instant::now();
+        let mut iters = 0u64;
+        while begin.elapsed() < self.measure {
+            for _ in 0..64 {
+                std_black_box(routine());
+            }
+            iters += 64;
+        }
+        self.iters = iters;
+        self.elapsed = begin.elapsed();
+    }
+}
+
+/// Registers benchmark functions under a group name, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each registered group, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

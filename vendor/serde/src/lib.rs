@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and nothing in the
+//! workspace round-trips data through a serde data format — the derive
+//! annotations exist so types are *ready* for serialization once the real
+//! crate is available. This stand-in keeps those annotations compiling:
+//! [`Serialize`] and [`Deserialize`] are marker traits blanket-implemented
+//! for every type, and the re-exported derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates many types with `#[derive(Serialize,
+//! Deserialize)]` but never round-trips them through a real serde data
+//! format (the only consumer is `serde_json::to_string`, whose vendored
+//! stand-in renders from `Debug`). These derives therefore expand to
+//! nothing; the `serde` stand-in provides blanket trait impls instead.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the `serde` stand-in blanket-implements the
+/// trait for every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the `serde` stand-in blanket-implements the
+/// trait for every type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,400 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides [`to_string`] for the workspace's report binaries. Without
+//! crates.io access there is no real serde data model, so this stand-in
+//! renders JSON by translating the value's `Debug` representation:
+//! `Row { name: "a", us: 1.5 }` becomes `{"name":"a","us":1.5}`, tuples
+//! become arrays, `Some(x)`/`None` become `x`/`null`, and unit enum
+//! variants become strings. That covers every `#[derive(Debug)]` plain-data
+//! report type the bench binaries emit.
+
+use std::fmt::{self, Debug};
+
+/// Error type mirroring `serde_json::Error`. The Debug translator is
+/// total, so in practice [`to_string`] never fails.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a JSON string via its `Debug` representation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string<T: Debug + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(debug_to_json(&format!("{value:?}")))
+}
+
+/// Translates a `Debug` rendering of plain data into JSON text.
+fn debug_to_json(src: &str) -> String {
+    let mut out = String::with_capacity(src.len() + 16);
+    let mut p = Parser {
+        chars: src.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value(&mut out);
+    out
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self, out: &mut String) {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => self.string(out),
+            Some('\'') => self.char_literal(out),
+            Some('[') => self.seq('[', ']', "[", "]", out),
+            Some('(') => self.seq('(', ')', "[", "]", out),
+            Some('{') => self.map(out),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(out),
+            Some(c) if c.is_alphabetic() || c == '_' => self.ident_led(out),
+            _ => {
+                // Unrecognized lead character: emit as a quoted string to
+                // keep the output well-formed.
+                if let Some(c) = self.bump() {
+                    out.push('"');
+                    out.push(c);
+                    out.push('"');
+                }
+            }
+        }
+    }
+
+    /// Copies a Rust string literal, re-escaping for JSON.
+    fn string(&mut self, out: &mut String) {
+        self.bump(); // opening quote
+        out.push('"');
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => match self.bump() {
+                    Some('u') => {
+                        // Rust `\u{XXff}` escape: decode and re-encode.
+                        self.bump(); // '{'
+                        let mut hex = String::new();
+                        while let Some(h) = self.peek() {
+                            self.pos += 1;
+                            if h == '}' {
+                                break;
+                            }
+                            hex.push(h);
+                        }
+                        if let Some(ch) =
+                            u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32)
+                        {
+                            escape_json_char(ch, out);
+                        }
+                    }
+                    Some('\'') => out.push('\''),
+                    Some('0') => out.push_str("\\u0000"),
+                    Some(e) => {
+                        out.push('\\');
+                        out.push(e);
+                    }
+                    None => break,
+                },
+                _ => escape_json_char(c, out),
+            }
+        }
+        out.push('"');
+    }
+
+    fn char_literal(&mut self, out: &mut String) {
+        self.bump(); // opening quote
+        out.push('"');
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        match e {
+                            '\'' => out.push('\''),
+                            _ => {
+                                out.push('\\');
+                                out.push(e);
+                            }
+                        }
+                    }
+                }
+                _ => escape_json_char(c, out),
+            }
+        }
+        out.push('"');
+    }
+
+    fn number(&mut self, out: &mut String) {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || "+-._".contains(c)) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        // `Debug` floats may print NaN/inf, which JSON cannot represent.
+        if text.contains("NaN") || text.contains("inf") {
+            out.push_str("null");
+        } else {
+            out.push_str(&text);
+        }
+    }
+
+    fn seq(&mut self, open: char, close: char, jopen: &str, jclose: &str, out: &mut String) {
+        debug_assert_eq!(self.peek(), Some(open));
+        self.bump();
+        out.push_str(jopen);
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => break,
+                Some(c) if c == close => {
+                    self.bump();
+                    break;
+                }
+                Some(',') => {
+                    self.bump();
+                }
+                _ => {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.value(out);
+                }
+            }
+        }
+        out.push_str(jclose);
+    }
+
+    /// `{ field: value, ... }` maps (struct bodies and Debug maps).
+    fn map(&mut self, out: &mut String) {
+        self.bump(); // '{'
+        out.push('{');
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => break,
+                Some('}') => {
+                    self.bump();
+                    break;
+                }
+                Some(',') => {
+                    self.bump();
+                }
+                _ => {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    // Field name (bare ident) or arbitrary key (Debug map).
+                    let mut key = String::new();
+                    self.value(&mut key);
+                    self.skip_ws();
+                    if self.peek() == Some(':') {
+                        self.bump();
+                    }
+                    if key.starts_with('"') {
+                        out.push_str(&key);
+                    } else {
+                        out.push('"');
+                        out.push_str(&key);
+                        out.push('"');
+                    }
+                    out.push(':');
+                    self.value(out);
+                }
+            }
+        }
+        out.push('}');
+    }
+
+    /// Something starting with an identifier: struct/variant names,
+    /// booleans, `Some`/`None`, NaN/inf.
+    fn ident_led(&mut self, out: &mut String) {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.pos += 1;
+        }
+        let name: String = self.chars[start..self.pos].iter().collect();
+        self.skip_ws();
+        match (name.as_str(), self.peek()) {
+            ("true" | "false", _) => out.push_str(&name),
+            ("None", _) => out.push_str("null"),
+            ("NaN" | "inf", _) => out.push_str("null"),
+            ("Some", Some('(')) => {
+                // Unwrap the option transparently.
+                self.bump();
+                self.value(out);
+                self.skip_ws();
+                if self.peek() == Some(')') {
+                    self.bump();
+                }
+            }
+            (_, Some('{')) => self.map(out),
+            (_, Some('(')) => {
+                // Tuple struct / tuple variant. A single field is rendered
+                // transparently (newtype); multiple fields become an array.
+                let fields = self.tuple_fields();
+                if fields.len() == 1 {
+                    out.push_str(&fields[0]);
+                } else {
+                    out.push('[');
+                    out.push_str(&fields.join(","));
+                    out.push(']');
+                }
+            }
+            _ => {
+                // Unit struct or unit enum variant: a string.
+                out.push('"');
+                out.push_str(&name);
+                out.push('"');
+            }
+        }
+    }
+
+    fn tuple_fields(&mut self) -> Vec<String> {
+        self.bump(); // '('
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => break,
+                Some(')') => {
+                    self.bump();
+                    break;
+                }
+                Some(',') => {
+                    self.bump();
+                }
+                _ => {
+                    let mut field = String::new();
+                    self.value(&mut field);
+                    fields.push(field);
+                }
+            }
+        }
+        fields
+    }
+}
+
+fn escape_json_char(c: char, out: &mut String) {
+    match c {
+        '"' => out.push_str("\\\""),
+        '\\' => out.push_str("\\\\"),
+        '\n' => out.push_str("\\n"),
+        '\r' => out.push_str("\\r"),
+        '\t' => out.push_str("\\t"),
+        c if (c as u32) < 0x20 => {
+            out.push_str(&format!("\\u{:04x}", c as u32));
+        }
+        c => out.push(c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    struct Row {
+        name: &'static str,
+        us: f64,
+        n: u64,
+    }
+
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    enum Mode {
+        Sync,
+        Pair(u32, u32),
+    }
+
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    struct Newtype(u64);
+
+    #[test]
+    fn structs_render_as_objects() {
+        let row = Row {
+            name: "ba-wal",
+            us: 1.5,
+            n: 3,
+        };
+        assert_eq!(
+            to_string(&row).unwrap(),
+            r#"{"name":"ba-wal","us":1.5,"n":3}"#
+        );
+    }
+
+    #[test]
+    fn vecs_and_tuples_render_as_arrays() {
+        let rows = vec![(1u32, "a"), (2, "b")];
+        assert_eq!(to_string(&rows).unwrap(), r#"[[1,"a"],[2,"b"]]"#);
+    }
+
+    #[test]
+    fn options_enums_and_newtypes() {
+        assert_eq!(to_string(&Some(5u8)).unwrap(), "5");
+        assert_eq!(to_string(&Option::<u8>::None).unwrap(), "null");
+        assert_eq!(to_string(&Mode::Sync).unwrap(), "\"Sync\"");
+        assert_eq!(to_string(&Mode::Pair(1, 2)).unwrap(), "[1,2]");
+        assert_eq!(to_string(&Newtype(9)).unwrap(), "9");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string("a\"b\\c\n").unwrap(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn nested_structures() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        struct Outer {
+            rows: Vec<Row>,
+            tag: Option<&'static str>,
+        }
+        let v = Outer {
+            rows: vec![Row {
+                name: "x",
+                us: 2.0,
+                n: 1,
+            }],
+            tag: None,
+        };
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"rows":[{"name":"x","us":2.0,"n":1}],"tag":null}"#
+        );
+    }
+}
