@@ -1,0 +1,28 @@
+//! Queue-depth sweep: read bandwidth/latency vs request size at QD 1–64.
+
+fn main() {
+    let rows = twob_bench::qd_sweep::run();
+    for device in ["ULL-SSD", "DC-SSD"] {
+        println!("{device}: sequential read, bandwidth (MB/s) by queue depth\n");
+        let table: Vec<Vec<String>> = twob_bench::qd_sweep::request_sizes()
+            .into_iter()
+            .map(|size| {
+                let mut cells = vec![format!("{}K", size >> 10)];
+                for qd in twob_bench::qd_sweep::QUEUE_DEPTHS {
+                    let row = rows
+                        .iter()
+                        .find(|r| r.device == device && r.size == size && r.qd == qd)
+                        .expect("swept point");
+                    cells.push(format!("{:.0}", row.read_mbs));
+                }
+                cells
+            })
+            .collect();
+        twob_bench::print_table(&["size", "QD1", "QD4", "QD16", "QD64"], &table);
+        println!();
+    }
+    println!(
+        "json: {}",
+        serde_json::to_string(&rows).expect("serialize qd sweep")
+    );
+}

@@ -15,6 +15,7 @@
 //! | Fig 10 (heterogeneous memory) | [`mod@fig10`] | `fig10_hetero` |
 //! | §V-C commit-overhead claim | [`mod@commit_cost`] | `commit_cost` |
 //! | Design ablations | [`mod@ablations`] | `ablations` |
+//! | QD extension of Fig 8 | [`mod@qd_sweep`] | `qd_sweep` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +26,7 @@ pub mod fig10;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod qd_sweep;
 pub mod table1;
 
 /// Prints a simple aligned table: a header row then data rows.

@@ -1,0 +1,30 @@
+//! Golden figure output: the event-kernel refactor must be invisible at
+//! queue depth 1.
+//!
+//! The fixtures under `tests/golden/` were captured from the bench binaries
+//! before the simulator moved from busy-until arithmetic to the explicit
+//! event calendar. These tests pin that the figures' JSON is *byte
+//! identical* — not merely numerically close — so any timing drift in the
+//! kernel shows up as a diff, not as a silently shifted figure.
+
+fn golden(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/");
+    std::fs::read_to_string(format!("{path}{name}.json"))
+        .unwrap_or_else(|e| panic!("read fixture {name}: {e}"))
+        .trim_end()
+        .to_string()
+}
+
+#[test]
+fn fig7_json_is_byte_identical_to_pre_kernel_capture() {
+    let rows = twob_bench::fig7::run();
+    let json = serde_json::to_string(&rows).expect("serialize fig7");
+    assert_eq!(json, golden("fig7_latency"), "fig7 output drifted");
+}
+
+#[test]
+fn fig9_json_is_byte_identical_to_pre_kernel_capture() {
+    let report = twob_bench::fig9::run(false);
+    let json = serde_json::to_string(&report).expect("serialize fig9");
+    assert_eq!(json, golden("fig9_apps"), "fig9 output drifted");
+}

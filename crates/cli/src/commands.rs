@@ -25,7 +25,9 @@ subcommands:
   wal      --scheme dc|ull|async|ba|pm
            --commits N --payload BYTES   drive a WAL and report costs
   ycsb     --log dc|ull|async|twob
-           --ops N --payload BYTES       MiniRocks under YCSB-A
+           --ops N --payload BYTES
+           --qd N                        MiniRocks under YCSB-A; --qd > 1
+                                         keeps N ops in flight per client
   replay   --trace FILE --device dc|ull  replay a block trace (W/R/T/F fmt)
   crash-demo                             durability windows of the byte path
   faults sweep --cuts N --seed S         crash-consistency sweep: N random
@@ -208,11 +210,15 @@ fn wal(parsed: &Parsed) -> CliResult {
 fn ycsb(parsed: &Parsed) -> CliResult {
     use twob_db::{EngineCosts, MiniRocks};
     use twob_sim::SimRng;
-    use twob_workloads::{ClientPool, YcsbConfig, YcsbOp, YcsbWorkload};
+    use twob_workloads::{ClientPool, ClosedLoopPool, YcsbConfig, YcsbOp, YcsbWorkload};
 
     let log = parsed.str_or("log", "twob");
     let ops = parsed.u64_or("ops", 10_000)?;
     let payload = parsed.u64_or("payload", 256)? as usize;
+    let qd = parsed.u64_or("qd", 1)? as usize;
+    if qd == 0 {
+        return Err("--qd must be at least 1".into());
+    }
     let mut db = MiniRocks::new(make_wal(&log)?, EngineCosts::rocksdb());
     let mut rng = SimRng::seed_from(7);
     let mut wl = YcsbWorkload::new(YcsbConfig::workload_a(500, payload));
@@ -221,19 +227,42 @@ fn ycsb(parsed: &Parsed) -> CliResult {
         t = db.put(t, key, value)?.commit_at;
     }
     let start = t;
-    let mut pool = ClientPool::starting_at(8, start);
-    for _ in 0..ops {
-        let (client, at) = pool.next_client();
-        let done = match wl.next_op(&mut rng) {
-            YcsbOp::Read { key } => db.get(at, &key).0,
-            YcsbOp::Update { key, value } => db.put(at, key, value)?.commit_at,
-        };
-        pool.complete(client, done);
-    }
-    let tput = ops as f64 / pool.makespan().saturating_since(start).as_secs_f64();
     println!("engine:      MiniRocks ({})", db.scheme());
-    println!("workload:    YCSB-A, {payload} B values, 8 clients, {ops} ops");
-    println!("throughput:  {tput:.0} ops/s");
+    if qd == 1 {
+        // Lock-step clients: one op in flight per client at a time.
+        let mut pool = ClientPool::starting_at(8, start);
+        for _ in 0..ops {
+            let (client, at) = pool.next_client();
+            let done = match wl.next_op(&mut rng) {
+                YcsbOp::Read { key } => db.get(at, &key).0,
+                YcsbOp::Update { key, value } => db.put(at, key, value)?.commit_at,
+            };
+            pool.complete(client, done);
+        }
+        let tput = ops as f64 / pool.makespan().saturating_since(start).as_secs_f64();
+        println!("workload:    YCSB-A, {payload} B values, 8 clients, {ops} ops");
+        println!("throughput:  {tput:.0} ops/s");
+    } else {
+        // Closed loop: each client keeps `qd` ops outstanding on the
+        // event calendar.
+        let pool = ClosedLoopPool::new(8, qd);
+        let mut failure = None;
+        let report = pool.run(start, ops, |_, at| match wl.next_op(&mut rng) {
+            YcsbOp::Read { key } => db.get(at, &key).0,
+            YcsbOp::Update { key, value } => match db.put(at, key, value) {
+                Ok(out) => out.commit_at,
+                Err(e) => {
+                    failure.get_or_insert(e);
+                    at
+                }
+            },
+        });
+        if let Some(e) = failure {
+            return Err(e.into());
+        }
+        println!("workload:    YCSB-A, {payload} B values, 8 clients x QD {qd}, {ops} ops");
+        println!("throughput:  {:.0} ops/s", report.ops_per_sec());
+    }
     println!("log WAF:     {:.1}", db.wal_stats().log_waf());
     Ok(())
 }
@@ -356,6 +385,18 @@ mod tests {
         ])
         .unwrap();
         run(&["ycsb", "--log", "async", "--ops", "200", "--payload", "64"]).unwrap();
+        run(&[
+            "ycsb",
+            "--log",
+            "twob",
+            "--ops",
+            "200",
+            "--payload",
+            "64",
+            "--qd",
+            "8",
+        ])
+        .unwrap();
         run(&["crash-demo"]).unwrap();
         run(&["faults", "sweep", "--cuts", "9", "--seed", "3"]).unwrap();
         run(&["help"]).unwrap();
@@ -367,6 +408,7 @@ mod tests {
         assert!(run(&["latency", "--device", "floppy"]).is_err());
         assert!(run(&["latency", "--op", "erase"]).is_err());
         assert!(run(&["wal", "--scheme", "carrier-pigeon"]).is_err());
+        assert!(run(&["ycsb", "--ops", "10", "--qd", "0"]).is_err());
         assert!(run(&["replay"]).is_err());
         assert!(run(&["faults", "retry"]).is_err());
         assert!(run(&["faults", "sweep", "--cuts", "0"]).is_err());

@@ -1,0 +1,403 @@
+//! Asynchronous submission of BA-path and block-path traffic over one event
+//! calendar.
+//!
+//! The synchronous [`TwoBSsd`] API answers "when would this single call
+//! complete?"; the [`IoCalendar`] answers the concurrent question: BA
+//! flushes, syncs, read-DMAs, and ordinary block reads/writes are submitted
+//! as timestamped events and dispatched in deterministic `(time, insertion)`
+//! order against the device, whose shared servers — internal datapath
+//! engine, dies, channels, firmware cores, DMA engine — make the two paths
+//! contend exactly as the paper's dual-interface hardware does.
+//!
+//! # Example
+//!
+//! ```rust
+//! use twob_core::{IoCalendar, IoOp, TwoBSsd};
+//! use twob_ftl::Lba;
+//! use twob_sim::SimTime;
+//!
+//! let mut dev = TwoBSsd::small_for_tests();
+//! let (eid, pin) = dev.ba_pin_auto(SimTime::ZERO, Lba(0), 1).unwrap();
+//! let mut cal = IoCalendar::new();
+//! // A BA flush and a block write racing at the same instant.
+//! cal.submit(pin.complete_at, IoOp::BaFlush { eid });
+//! cal.submit(
+//!     pin.complete_at,
+//!     IoOp::BlockWrite { lba: Lba(8), data: vec![1u8; 4096] },
+//! );
+//! cal.drive(&mut dev);
+//! assert_eq!(cal.drain_completions().len(), 2);
+//! ```
+
+use twob_ftl::Lba;
+use twob_sim::{Executor, SimTime};
+use twob_ssd::BlockDevice;
+
+use crate::{EntryId, TwoBError, TwoBSsd};
+
+/// One operation submitted to the calendar.
+#[derive(Debug, Clone)]
+pub enum IoOp {
+    /// `BA_FLUSH(EID)` over the internal datapath.
+    BaFlush {
+        /// Entry to flush.
+        eid: EntryId,
+    },
+    /// `BA_SYNC(EID)` of the entry's whole window.
+    BaSync {
+        /// Entry to sync.
+        eid: EntryId,
+    },
+    /// `BA_SYNC` of `[rel_offset, rel_offset + len)` within the window.
+    BaSyncRange {
+        /// Entry to sync.
+        eid: EntryId,
+        /// Window-relative start.
+        rel_offset: u64,
+        /// Bytes to sync.
+        len: u64,
+    },
+    /// `BA_READ_DMA(EID, rel_offset, len)`.
+    BaReadDma {
+        /// Entry to read.
+        eid: EntryId,
+        /// Window-relative start.
+        rel_offset: u64,
+        /// Bytes to transfer.
+        len: u64,
+    },
+    /// Block-path read of `pages` pages at `lba`.
+    BlockRead {
+        /// First logical page.
+        lba: Lba,
+        /// Page count.
+        pages: u32,
+    },
+    /// Block-path write of page-aligned `data` at `lba`.
+    BlockWrite {
+        /// First logical page.
+        lba: Lba,
+        /// Page-aligned payload.
+        data: Vec<u8>,
+    },
+}
+
+/// The completed form of one submitted operation.
+#[derive(Debug, Clone)]
+pub struct IoCompletion {
+    /// Identifier returned by [`IoCalendar::submit`].
+    pub id: u64,
+    /// Submission instant.
+    pub submitted: SimTime,
+    /// Completion instant (equals `submitted` plus nothing on error).
+    pub complete_at: SimTime,
+    /// Payload for reads/read-DMAs.
+    pub data: Option<Vec<u8>>,
+    /// The device error, if the operation failed.
+    pub error: Option<TwoBError>,
+}
+
+/// Calendar events: a submitted operation starting, or its completion
+/// landing. Completions are events too, so a long-running operation's
+/// completion interleaves in time order with later submissions.
+#[derive(Debug, Clone)]
+enum IoEvent {
+    Start {
+        id: u64,
+        submitted: SimTime,
+        op: IoOp,
+    },
+    Done {
+        completion: IoCompletion,
+    },
+}
+
+/// The shared calendar routing BA-path and block-path traffic to a
+/// [`TwoBSsd`]. See the module docs for the model.
+#[derive(Debug, Clone, Default)]
+pub struct IoCalendar {
+    exec: Executor<IoEvent>,
+    next_id: u64,
+    completions: Vec<IoCompletion>,
+}
+
+impl IoCalendar {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        IoCalendar::default()
+    }
+
+    /// Schedules `op` to start at `at`, returning its completion id.
+    pub fn submit(&mut self, at: SimTime, op: IoOp) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.exec.post(
+            at,
+            IoEvent::Start {
+                id,
+                submitted: at,
+                op,
+            },
+        );
+        id
+    }
+
+    /// Events still pending on the calendar.
+    pub fn pending(&self) -> usize {
+        self.exec.pending()
+    }
+
+    /// The calendar's current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.exec.now()
+    }
+
+    /// Drains the calendar against `dev`, dispatching every submitted
+    /// operation at its start instant and recording completions in
+    /// completion-time order. Returns how many operations completed during
+    /// this drive.
+    pub fn drive(&mut self, dev: &mut TwoBSsd) -> usize {
+        let completions = &mut self.completions;
+        let before = completions.len();
+        self.exec.run(|ex, t, ev| match ev {
+            IoEvent::Start { id, submitted, op } => {
+                let (outcome, data) = dispatch(dev, t, op);
+                let completion = match outcome {
+                    Ok(complete_at) => IoCompletion {
+                        id,
+                        submitted,
+                        complete_at,
+                        data,
+                        error: None,
+                    },
+                    Err(error) => IoCompletion {
+                        id,
+                        submitted,
+                        complete_at: t,
+                        data: None,
+                        error: Some(error),
+                    },
+                };
+                ex.post(completion.complete_at, IoEvent::Done { completion });
+            }
+            IoEvent::Done { completion } => completions.push(completion),
+        });
+        self.completions.len() - before
+    }
+
+    /// Takes all recorded completions, ordered by completion time (ties in
+    /// submission order).
+    pub fn drain_completions(&mut self) -> Vec<IoCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+/// Runs one operation against the device at instant `t`.
+fn dispatch(
+    dev: &mut TwoBSsd,
+    t: SimTime,
+    op: IoOp,
+) -> (Result<SimTime, TwoBError>, Option<Vec<u8>>) {
+    match op {
+        IoOp::BaFlush { eid } => (dev.ba_flush(t, eid).map(|c| c.complete_at), None),
+        IoOp::BaSync { eid } => (dev.ba_sync(t, eid).map(|c| c.complete_at), None),
+        IoOp::BaSyncRange {
+            eid,
+            rel_offset,
+            len,
+        } => (
+            dev.ba_sync_range(t, eid, rel_offset, len)
+                .map(|c| c.complete_at),
+            None,
+        ),
+        IoOp::BaReadDma {
+            eid,
+            rel_offset,
+            len,
+        } => match dev.ba_read_dma(t, eid, rel_offset, len) {
+            Ok(out) => (Ok(out.complete_at), Some(out.data)),
+            Err(e) => (Err(e), None),
+        },
+        IoOp::BlockRead { lba, pages } => match dev.read_pages(t, lba, pages) {
+            Ok(read) => (Ok(read.complete_at), Some(read.data)),
+            Err(e) => (Err(e.into()), None),
+        },
+        IoOp::BlockWrite { lba, data } => (
+            dev.write_pages(t, lba, &data).map_err(TwoBError::from),
+            None,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pinned_dev(lbas: &[u64]) -> (TwoBSsd, Vec<EntryId>) {
+        let mut dev = TwoBSsd::small_for_tests();
+        let mut t = SimTime::ZERO;
+        let mut eids = Vec::new();
+        for &lba in lbas {
+            let (eid, pin) = dev.ba_pin_auto(t, Lba(lba), 1).unwrap();
+            t = pin.complete_at;
+            eids.push(eid);
+        }
+        (dev, eids)
+    }
+
+    /// Builds a device with block data at `lba` (durably destaged) and one
+    /// 8-page BA entry pinned, ready to flush.
+    fn flush_race_dev(lba: u64) -> (TwoBSsd, EntryId) {
+        let mut dev = TwoBSsd::small_for_tests();
+        let ack = dev
+            .write_pages(SimTime::ZERO, Lba(lba), &vec![0x5Au8; 4096])
+            .unwrap();
+        let settled = dev.flush(ack);
+        let (eid, pin) = dev.ba_pin_auto(settled, Lba(64), 8).unwrap();
+        assert!(pin.complete_at < SimTime::from_nanos(1_000_000));
+        (dev, eid)
+    }
+
+    #[test]
+    fn ba_and_block_traffic_contend_on_shared_device() {
+        let start = SimTime::from_nanos(1_000_000);
+        // A lone block read on an otherwise idle device...
+        let (mut solo, _) = flush_race_dev(16);
+        let lone = solo.read_pages(start, Lba(16), 1).unwrap().complete_at;
+
+        // ...versus the same read racing an 8-page BA flush whose NAND
+        // programs occupy the dies and channels the read needs.
+        let (mut dev, eid) = flush_race_dev(16);
+        let mut cal = IoCalendar::new();
+        cal.submit(start, IoOp::BaFlush { eid });
+        let read_id = cal.submit(
+            start,
+            IoOp::BlockRead {
+                lba: Lba(16),
+                pages: 1,
+            },
+        );
+        let completed = cal.drive(&mut dev);
+        assert_eq!(completed, 2);
+        let done = cal.drain_completions();
+        let contended = done.iter().find(|c| c.id == read_id).unwrap();
+        assert!(
+            contended.error.is_none(),
+            "read failed: {:?}",
+            contended.error
+        );
+        assert!(
+            contended.complete_at > lone,
+            "block read should queue behind BA-flush NAND work: \
+             contended {:?} vs lone {lone:?}",
+            contended.complete_at,
+        );
+    }
+
+    #[test]
+    fn completions_are_recorded_in_completion_order() {
+        let (mut dev, eids) = pinned_dev(&[0]);
+        let start = SimTime::from_nanos(1_000_000);
+        let mut cal = IoCalendar::new();
+        // A slow flush (durable-on-NAND) submitted first and a block write
+        // (acks at cache insert) submitted second: drain order follows
+        // completion time, not submission order.
+        let flush_id = cal.submit(start, IoOp::BaFlush { eid: eids[0] });
+        let write_id = cal.submit(
+            start,
+            IoOp::BlockWrite {
+                lba: Lba(8),
+                data: vec![9u8; 4096],
+            },
+        );
+        cal.drive(&mut dev);
+        let done = cal.drain_completions();
+        assert_eq!(done.len(), 2);
+        assert!(done[0].complete_at <= done[1].complete_at);
+        assert_eq!(done[0].id, write_id, "fast ack should drain first");
+        assert_eq!(done[1].id, flush_id);
+    }
+
+    #[test]
+    fn errors_complete_immediately_with_cause() {
+        let mut dev = TwoBSsd::small_for_tests();
+        let mut cal = IoCalendar::new();
+        let id = cal.submit(
+            SimTime::ZERO,
+            IoOp::BlockRead {
+                lba: Lba(0),
+                pages: 1,
+            },
+        );
+        cal.submit(
+            SimTime::ZERO,
+            IoOp::BaFlush {
+                eid: EntryId(7), // nothing pinned
+            },
+        );
+        cal.drive(&mut dev);
+        let done = cal.drain_completions();
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert!(c.error.is_some(), "op {} should have failed", c.id);
+            assert_eq!(c.complete_at, SimTime::ZERO);
+        }
+        assert!(done.iter().any(|c| c.id == id));
+    }
+
+    #[test]
+    fn read_dma_round_trips_data_through_calendar() {
+        let (mut dev, eids) = pinned_dev(&[0]);
+        let eid = eids[0];
+        let t = SimTime::from_nanos(1_000_000);
+        let store = dev.mmio_write(t, eid, 0, b"calendar bytes").unwrap();
+        let mut cal = IoCalendar::new();
+        // Chain sync → DMA through the calendar itself.
+        cal.submit(store.retired_at, IoOp::BaSync { eid });
+        cal.drive(&mut dev);
+        let sync_done = cal.drain_completions().pop().unwrap();
+        assert!(sync_done.error.is_none());
+        cal.submit(
+            sync_done.complete_at,
+            IoOp::BaReadDma {
+                eid,
+                rel_offset: 0,
+                len: 14,
+            },
+        );
+        cal.drive(&mut dev);
+        let done = cal.drain_completions();
+        assert_eq!(done[0].data.as_deref(), Some(&b"calendar bytes"[..]));
+    }
+
+    #[test]
+    fn calendar_is_deterministic() {
+        let run = || {
+            let (mut dev, eids) = pinned_dev(&[0, 2]);
+            let start = SimTime::from_nanos(1_000_000);
+            let mut cal = IoCalendar::new();
+            cal.submit(start, IoOp::BaFlush { eid: eids[0] });
+            cal.submit(
+                start,
+                IoOp::BlockWrite {
+                    lba: Lba(8),
+                    data: vec![3u8; 4096],
+                },
+            );
+            cal.submit(start, IoOp::BaSync { eid: eids[1] });
+            cal.submit(
+                start,
+                IoOp::BlockRead {
+                    lba: Lba(8),
+                    pages: 1,
+                },
+            );
+            cal.drive(&mut dev);
+            cal.drain_completions()
+                .into_iter()
+                .map(|c| (c.id, c.complete_at, c.error.is_some()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod calendar;
 mod device;
 mod dma;
 mod error;
@@ -55,6 +56,7 @@ mod shared;
 pub mod spec;
 
 pub use buffer::BaBuffer;
+pub use calendar::{IoCalendar, IoCompletion, IoOp};
 pub use device::{
     ApiCompletion, MmioReadOutcome, MmioStoreOutcome, PermissionPolicy, TwoBSsd, TwoBStats,
 };

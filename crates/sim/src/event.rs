@@ -1,0 +1,287 @@
+//! The discrete-event kernel: a calendar of timestamped events and an
+//! executor that drains it in deterministic order.
+//!
+//! The calendar is a binary-heap priority queue keyed by [`SimTime`] with a
+//! monotonically increasing sequence number as tie-breaker, so events posted
+//! for the same instant fire in FIFO order. This makes every run of a
+//! simulation bit-for-bit reproducible: the only ordering inputs are the
+//! timestamps and the order in which events were posted, never hash-map
+//! iteration order or wall-clock scheduling.
+//!
+//! # Example
+//!
+//! ```rust
+//! use twob_sim::{Executor, SimTime};
+//!
+//! let mut exec = Executor::new();
+//! exec.post(SimTime::from_nanos(10), "late");
+//! exec.post(SimTime::from_nanos(5), "early");
+//! let mut order = Vec::new();
+//! exec.run(|_, t, ev| order.push((t.as_nanos(), ev)));
+//! assert_eq!(order, vec![(5, "early"), (10, "late")]);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// One pending event: fires at `at`, FIFO among events at the same instant.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; reverse so the earliest (time, seq)
+        // pops first. The sequence number breaks time ties FIFO.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A calendar of future events ordered by `(time, insertion sequence)`.
+///
+/// Events for the same instant pop in the order they were pushed, which is
+/// what makes simulations built on the calendar deterministic.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever pushed (the next tie-breaking sequence number).
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Drains an [`EventQueue`] in time order, tracking the current virtual
+/// instant and letting handlers post follow-up events.
+///
+/// The handler receives `(&mut Executor, fire_time, event)` and may call
+/// [`Executor::post`] to chain further events; posting "into the past" is
+/// clamped to the current instant so time never runs backwards.
+#[derive(Debug, Clone)]
+pub struct Executor<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Executor<E> {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl<E> Executor<E> {
+    /// Creates an idle executor at time zero.
+    pub fn new() -> Self {
+        Executor {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current virtual instant (the firing time of the latest event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if the calendar is drained.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Posts `event` to fire at `at`, clamped to the current instant so a
+    /// handler cannot schedule into the past.
+    pub fn post(&mut self, at: SimTime, event: E) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Fires the earliest pending event through `handler`, advancing the
+    /// clock to its timestamp. Returns `false` if the calendar was empty.
+    pub fn step<F>(&mut self, handler: &mut F) -> bool
+    where
+        F: FnMut(&mut Executor<E>, SimTime, E),
+    {
+        match self.queue.pop() {
+            None => false,
+            Some((at, event)) => {
+                debug_assert!(at >= self.now, "calendar produced a past event");
+                self.now = at;
+                self.processed += 1;
+                handler(self, at, event);
+                true
+            }
+        }
+    }
+
+    /// Drains the calendar, firing every event (including ones posted by the
+    /// handler itself) in deterministic `(time, seq)` order.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Executor<E>, SimTime, E),
+    {
+        while self.step(&mut handler) {}
+    }
+
+    /// Fires events while their timestamp is `<= until`, leaving later ones
+    /// pending. Advances the clock to `until` if the calendar runs dry first.
+    pub fn run_until<F>(&mut self, until: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Executor<E>, SimTime, E),
+    {
+        while self.queue.peek_time().is_some_and(|t| t <= until) {
+            self.step(&mut handler);
+        }
+        self.now = self.now.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), "c");
+        q.push(SimTime::from_nanos(10), "a");
+        q.push(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo_by_sequence() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)), "tie {i} popped out of order");
+        }
+    }
+
+    #[test]
+    fn executor_chains_follow_up_events() {
+        let mut exec = Executor::new();
+        exec.post(SimTime::from_nanos(5), 3u32);
+        let mut fired = Vec::new();
+        exec.run(|ex, t, remaining| {
+            fired.push(t.as_nanos());
+            if remaining > 0 {
+                ex.post(t + SimDuration::from_nanos(10), remaining - 1);
+            }
+        });
+        assert_eq!(fired, vec![5, 15, 25, 35]);
+        assert_eq!(exec.now(), SimTime::from_nanos(35));
+        assert_eq!(exec.processed(), 4);
+        assert!(exec.is_idle());
+    }
+
+    #[test]
+    fn post_clamps_to_current_instant() {
+        let mut exec = Executor::new();
+        exec.post(SimTime::from_nanos(100), "first");
+        let mut fired = Vec::new();
+        exec.run(|ex, t, ev| {
+            fired.push((t.as_nanos(), ev));
+            if ev == "first" {
+                // Attempt to schedule into the past: clamped to `now`.
+                ex.post(SimTime::from_nanos(1), "clamped");
+            }
+        });
+        assert_eq!(fired, vec![(100, "first"), (100, "clamped")]);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_pending() {
+        let mut exec = Executor::new();
+        exec.post(SimTime::from_nanos(10), ());
+        exec.post(SimTime::from_nanos(50), ());
+        let mut count = 0;
+        exec.run_until(SimTime::from_nanos(20), |_, _, _| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(exec.now(), SimTime::from_nanos(20));
+        assert_eq!(exec.pending(), 1);
+        exec.run(|_, _, _| count += 1);
+        assert_eq!(count, 2);
+        assert_eq!(exec.now(), SimTime::from_nanos(50));
+    }
+}

@@ -7,10 +7,12 @@
 //! - [`SimTime`] / [`SimDuration`]: nanosecond-resolution virtual timestamps
 //!   and spans, as distinct newtypes so instants and spans cannot be mixed up.
 //! - [`Clock`]: a monotonically advancing virtual clock.
-//! - [`Server`] / [`MultiServer`]: "busy-until" resources that model FIFO
-//!   queuing at devices (NAND channels, firmware cores, the PCIe link) without
-//!   a full event calendar. An operation arriving at `t` with service time `s`
-//!   completes at `max(t, free_at) + s`.
+//! - [`EventQueue`] / [`Executor`]: the discrete-event kernel — a binary-heap
+//!   calendar keyed by `SimTime` with FIFO tie-breaking by insertion sequence,
+//!   and an executor that drains it deterministically.
+//! - [`Server`] / [`MultiServer`]: FIFO queuing resources (NAND channels,
+//!   firmware cores, the PCIe link) built on the event kernel. An operation
+//!   arriving at `t` with service time `s` completes at `max(t, free_at) + s`.
 //! - [`Histogram`] / [`RunningStats`]: latency/throughput statistics with
 //!   percentiles.
 //! - [`SimRng`] and [`Zipfian`]: seeded, reproducible randomness for
@@ -36,6 +38,7 @@
 
 mod clock;
 mod crc;
+mod event;
 mod resource;
 mod rng;
 mod stats;
@@ -44,6 +47,7 @@ mod trace;
 
 pub use clock::Clock;
 pub use crc::{crc32, crc32_update};
+pub use event::{EventQueue, Executor};
 pub use resource::{MultiServer, ScheduledSpan, Server};
 pub use rng::{SimRng, Zipfian};
 pub use stats::{Histogram, RunningStats, Throughput};

@@ -1,6 +1,15 @@
-//! Busy-until resources modelling FIFO queuing at simulated devices.
+//! FIFO queuing resources built on the discrete-event kernel.
+//!
+//! Each [`Server::schedule`] call plays out as a two-event chain on a
+//! calendar — an *arrival* that claims the server when it frees, and a
+//! *completion* that releases it — so the span it returns is the one the
+//! event kernel computed. Because the kernel breaks time ties FIFO by
+//! insertion sequence, the spans are identical to the closed-form busy-until
+//! arithmetic (`start = max(arrival, free_at)`, `end = start + service`)
+//! the stack used before the kernel existed; a proptest in `tests/props.rs`
+//! pins that equivalence.
 
-use crate::{SimDuration, SimTime};
+use crate::{Executor, SimDuration, SimTime};
 
 /// The span during which a scheduled operation occupied a resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,12 +79,43 @@ impl Server {
 
     /// Schedules an operation arriving at `arrival` requiring `service` time,
     /// returning the span during which it held the server.
+    ///
+    /// The span is produced by draining a per-call event calendar: the
+    /// arrival event claims the server at `max(arrival, free_at)` and posts
+    /// the completion event `service` later. An arrival in the past (before
+    /// the server's current `free_at`) is therefore clamped forward — it
+    /// queues like any other request, and `busy_intervals` stays sorted.
     pub fn schedule(&mut self, arrival: SimTime, service: SimDuration) -> ScheduledSpan {
-        let start = arrival.max(self.free_at);
-        let end = start + service;
+        enum Ev {
+            Arrive(SimDuration),
+            Complete { start: SimTime },
+        }
+        let free_at = self.free_at;
+        let mut exec = Executor::new();
+        exec.post(arrival, Ev::Arrive(service));
+        let mut span = None;
+        exec.run(|ex, t, ev| match ev {
+            Ev::Arrive(service) => {
+                // Service begins once both the request and the server are
+                // ready; the completion is a chained calendar event.
+                let start = t.max(free_at);
+                ex.post(start + service, Ev::Complete { start });
+            }
+            Ev::Complete { start } => span = Some(ScheduledSpan { start, end: t }),
+        });
+        let ScheduledSpan { start, end } =
+            span.expect("the arrival event always chains a completion");
         self.free_at = end;
         self.busy_total += service;
         self.served += 1;
+        // Clamping the start to `free_at` keeps interval starts monotone —
+        // `busy_within`'s `partition_point` depends on this ordering.
+        debug_assert!(
+            self.busy_intervals
+                .last()
+                .is_none_or(|last| start >= last.end),
+            "busy interval out of order: start {start:?} before last end"
+        );
         match self.busy_intervals.last_mut() {
             Some(last) if last.end == start => {
                 last.end = end;
@@ -339,5 +379,29 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_server_bank_panics() {
         let _ = MultiServer::new(0);
+    }
+
+    /// Pins the behaviour for arrivals that go backwards in time: the start
+    /// is clamped to `free_at`, so `busy_intervals` stays sorted and
+    /// `busy_within`'s `partition_point` keeps working.
+    #[test]
+    fn backwards_arrival_clamps_to_free_at() {
+        let mut s = Server::new();
+        let a = s.schedule(SimTime::from_nanos(100), SimDuration::from_nanos(50));
+        // Arrival rewinds to t=10 while the server is busy until t=150:
+        // service is clamped to begin exactly at free_at.
+        let b = s.schedule(SimTime::from_nanos(10), SimDuration::from_nanos(30));
+        assert_eq!(b.start, a.end);
+        assert_eq!(b.end, SimTime::from_nanos(180));
+        // A rewind past an idle gap clamps too (free_at = 180 > arrival).
+        let c = s.schedule(SimTime::ZERO, SimDuration::from_nanos(5));
+        assert_eq!(c.start, SimTime::from_nanos(180));
+        // The interval index stayed sorted, so window queries still clamp
+        // correctly rather than binary-searching a corrupted vector.
+        assert_eq!(
+            s.busy_within(SimTime::from_nanos(150)),
+            SimDuration::from_nanos(50)
+        );
+        assert_eq!(s.busy_within(SimTime::from_nanos(1_000)), s.busy_total());
     }
 }

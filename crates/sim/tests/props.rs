@@ -25,6 +25,65 @@ proptest! {
         }
     }
 
+    /// Kernel equivalence: random op schedules produce identical
+    /// `ScheduledSpan`s from the event-driven `Server` and from the legacy
+    /// closed-form busy-until arithmetic it replaced.
+    #[test]
+    fn event_server_matches_busy_until_arithmetic(
+        ops in prop::collection::vec((0u64..1_000_000, 0u64..50_000), 1..200)
+    ) {
+        let mut server = Server::new();
+        let mut free_at = SimTime::ZERO;
+        for (arrival, service) in ops {
+            let arrival = SimTime::from_nanos(arrival);
+            let service = SimDuration::from_nanos(service);
+            let span = server.schedule(arrival, service);
+            // Legacy arithmetic: start = max(arrival, free_at), end = start + service.
+            let start = arrival.max(free_at);
+            let end = start + service;
+            free_at = end;
+            prop_assert_eq!(span, twob_sim::ScheduledSpan { start, end });
+            prop_assert_eq!(server.free_at(), free_at);
+        }
+    }
+
+    /// Kernel equivalence for banks: the event-driven `MultiServer` picks the
+    /// same earliest-free server (first one on ties) as the legacy arithmetic.
+    #[test]
+    fn event_multi_server_matches_busy_until_arithmetic(
+        ops in prop::collection::vec((0u64..100_000, 0u64..10_000), 1..100),
+        k in 1usize..6
+    ) {
+        let mut bank = MultiServer::new(k);
+        let mut free_at = vec![SimTime::ZERO; k];
+        for (arrival, service) in ops {
+            let arrival = SimTime::from_nanos(arrival);
+            let service = SimDuration::from_nanos(service);
+            let span = bank.schedule(arrival, service);
+            let best = (0..k).min_by_key(|&i| free_at[i]).unwrap();
+            let start = arrival.max(free_at[best]);
+            free_at[best] = start + service;
+            prop_assert_eq!(span, twob_sim::ScheduledSpan { start, end: start + service });
+        }
+    }
+
+    /// The event calendar drains strictly in `(time, insertion)` order no
+    /// matter the posting order.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = twob_sim::EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(*t), i);
+        }
+        let mut prev: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((pt, pi)) = prev {
+                prop_assert!(t > pt || (t == pt && i > pi), "out of order: {pt:?}/{pi} then {t:?}/{i}");
+            }
+            prev = Some((t, i));
+        }
+    }
+
     /// Total busy time of a server equals the sum of all service times.
     #[test]
     fn server_busy_time_conserved(

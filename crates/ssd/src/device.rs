@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use twob_ftl::{FtlIo, FtlOpKind, Lba, PageMappedFtl};
 use twob_nand::NandArray;
-use twob_sim::{MultiServer, Server, SimTime};
+use twob_sim::{MultiServer, Server, SimDuration, SimTime};
 
 use crate::{SsdConfig, SsdError};
 
@@ -242,7 +242,26 @@ impl Ssd {
     pub fn read(&mut self, now: SimTime, lba: Lba, pages: u32) -> Result<BlockRead, SsdError> {
         self.check_power()?;
         self.check_range(lba, pages)?;
-        let fw = self.fw_cores.schedule(now, self.cfg.fw_read);
+        let fw_end = self.fetch_stage(now, self.cfg.fw_read);
+        self.read_body(fw_end, lba, pages)
+    }
+
+    /// Occupies a firmware core for `service` starting at `at` — the NVMe
+    /// command fetch/decode stage — returning when the core is done. Shared
+    /// by the synchronous API above and the queued front end in
+    /// [`crate::NvmeSsd`], so both contend for the same cores.
+    pub(crate) fn fetch_stage(&mut self, at: SimTime, service: SimDuration) -> SimTime {
+        self.fw_cores.schedule(at, service).end
+    }
+
+    /// The NAND + host-transfer stages of a read, starting once firmware has
+    /// decoded the command at `fw_end`.
+    pub(crate) fn read_body(
+        &mut self,
+        fw_end: SimTime,
+        lba: Lba,
+        pages: u32,
+    ) -> Result<BlockRead, SsdError> {
         let page_size = self.page_size();
         let mut data = Vec::with_capacity(page_size * pages as usize);
         let mut host_ready = Vec::with_capacity(pages as usize);
@@ -251,23 +270,23 @@ impl Ssd {
             if let Some((ready, bytes)) = self.prefetched.remove(&cur.0) {
                 self.stats.prefetch_hits += 1;
                 data.extend_from_slice(&bytes);
-                host_ready.push(fw.end.max(ready));
+                host_ready.push(fw_end.max(ready));
             } else {
                 let result = self.ftl.read(cur)?;
-                let end = self.schedule_ios(fw.end, &result.ios);
+                let end = self.schedule_ios(fw_end, &result.ios);
                 data.extend_from_slice(&result.data);
                 host_ready.push(end);
             }
         }
         // Host transfers serialize on the read link in page order.
-        let mut complete_at = fw.end;
+        let mut complete_at = fw_end;
         let xfer = self.cfg.host_read_xfer(page_size as u64);
         for ready in host_ready {
             complete_at = self.host_read_link.schedule(ready, xfer).end;
         }
         self.stats.read_cmds += 1;
         self.stats.pages_read += u64::from(pages);
-        self.update_read_ahead(fw.end, lba, pages);
+        self.update_read_ahead(fw_end, lba, pages);
         Ok(BlockRead { data, complete_at })
     }
 
@@ -311,6 +330,15 @@ impl Ssd {
     /// Fails when powered off, out of range, unaligned, or when the range
     /// is gated by the LBA checker.
     pub fn write(&mut self, now: SimTime, lba: Lba, data: &[u8]) -> Result<SimTime, SsdError> {
+        self.write_checks(lba, data)?;
+        self.prune_pending(now);
+        let fw_end = self.fetch_stage(now, self.cfg.fw_write);
+        self.write_body(fw_end, lba, data)
+    }
+
+    /// Validation shared by the synchronous and queued write paths: power,
+    /// alignment, capacity, and the LBA checker.
+    fn write_checks(&mut self, lba: Lba, data: &[u8]) -> Result<(), SsdError> {
         self.check_power()?;
         let page_size = self.page_size();
         if data.is_empty() || !data.len().is_multiple_of(page_size) {
@@ -325,14 +353,46 @@ impl Ssd {
             self.stats.gated_writes += 1;
             return Err(SsdError::GatedByLbaChecker { lba: gated_lba });
         }
-        self.prune_pending(now);
-        let fw = self.fw_cores.schedule(now, self.cfg.fw_write);
+        Ok(())
+    }
+
+    /// Validation plus the post-fetch stages of a read, for the queued front
+    /// end (which runs the fetch stage as its own calendar event).
+    pub(crate) fn queued_read(
+        &mut self,
+        fw_end: SimTime,
+        lba: Lba,
+        pages: u32,
+    ) -> Result<BlockRead, SsdError> {
+        self.check_power()?;
+        self.check_range(lba, pages)?;
+        self.read_body(fw_end, lba, pages)
+    }
+
+    /// Validation plus the post-fetch stages of a write, for the queued
+    /// front end.
+    pub(crate) fn queued_write(
+        &mut self,
+        fw_end: SimTime,
+        lba: Lba,
+        data: &[u8],
+    ) -> Result<SimTime, SsdError> {
+        self.write_checks(lba, data)?;
+        self.prune_pending(fw_end);
+        self.write_body(fw_end, lba, data)
+    }
+
+    /// The host-transfer + cache-insert + destage stages of a write,
+    /// starting once firmware has decoded the command at `fw_end`.
+    fn write_body(&mut self, fw_end: SimTime, lba: Lba, data: &[u8]) -> Result<SimTime, SsdError> {
+        let page_size = self.page_size();
+        let pages = (data.len() / page_size) as u32;
         let xfer = self.cfg.host_write_xfer(page_size as u64);
-        let mut ack = fw.end;
+        let mut ack = fw_end;
         for (i, chunk) in data.chunks_exact(page_size).enumerate() {
             let cur = Lba(lba.0 + i as u64);
             // Host transfer into the device.
-            let arrived = self.host_write_link.schedule(fw.end, xfer).end;
+            let arrived = self.host_write_link.schedule(fw_end, xfer).end;
             // Invalidate any prefetched copy.
             self.prefetched.remove(&cur.0);
             // Snapshot old data for volatile-cache rollback.

@@ -18,6 +18,11 @@
 //!   identical block behaviour to ULL-SSD (paper §V-A) plus the internal
 //!   datapath used by the BA-buffer.
 //!
+//! [`NvmeSsd`] fronts a device with NVMe-style submission/completion queue
+//! pairs on the `twob-sim` event calendar, which is what models queue depths
+//! above 1: firmware fetch, NAND access, and host transfer become chained
+//! events that overlap across commands.
+//!
 //! # Example
 //!
 //! ```rust
@@ -38,9 +43,11 @@
 mod config;
 mod device;
 mod error;
+mod queue;
 mod traits;
 
 pub use config::{ErrorInjection, SsdConfig};
 pub use device::{BlockRead, Ssd, SsdStats};
 pub use error::SsdError;
+pub use queue::{NvmeCompletion, NvmeEvent, NvmeOp, NvmeSsd, QdReport, QueueConfig, QueueFull};
 pub use traits::BlockDevice;

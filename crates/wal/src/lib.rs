@@ -23,6 +23,11 @@
 //! All three produce identical on-media record streams ([`LogRecord`] with
 //! CRC-32 torn-write detection), so [`replay`] can audit any of them.
 //!
+//! [`GroupCommit`] wraps any of the writers with an asynchronous completion
+//! path: concurrent committers submit and receive tickets, batches close on
+//! an event-calendar deadline, and one durability point covers the whole
+//! group.
+//!
 //! # Example
 //!
 //! ```rust
@@ -44,6 +49,7 @@ mod ba;
 mod block;
 mod config;
 mod error;
+mod group;
 mod pm;
 mod record;
 mod replay;
@@ -54,6 +60,7 @@ pub use ba::BaWal;
 pub use block::BlockWal;
 pub use config::{CommitMode, WalConfig};
 pub use error::WalError;
+pub use group::{GroupCommit, GroupOutcome};
 pub use pm::PmWal;
 pub use record::{LogRecord, Lsn};
 pub use replay::{decode_stream, replay, ReplayOutcome};

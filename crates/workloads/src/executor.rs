@@ -1,6 +1,6 @@
 //! Multi-client virtual-time execution.
 
-use twob_sim::SimTime;
+use twob_sim::{EventQueue, Histogram, SimTime};
 
 /// A pool of simulated client threads, each with its own virtual clock.
 ///
@@ -29,6 +29,10 @@ use twob_sim::SimTime;
 pub struct ClientPool {
     clocks: Vec<SimTime>,
     ops: u64,
+    /// The instant the pool started — throughput is measured from here, not
+    /// from time zero, so a pool built after a load phase reports its
+    /// steady-state rate.
+    epoch: SimTime,
 }
 
 impl ClientPool {
@@ -52,7 +56,13 @@ impl ClientPool {
         ClientPool {
             clocks: vec![t; clients],
             ops: 0,
+            epoch: t,
         }
+    }
+
+    /// The instant the pool started (its throughput measurement origin).
+    pub fn epoch(&self) -> SimTime {
+        self.epoch
     }
 
     /// The earliest client clock (useful as the measurement window start
@@ -103,17 +113,128 @@ impl ClientPool {
         self.clocks.iter().copied().max().expect("non-empty pool")
     }
 
-    /// Throughput in operations per virtual second over the makespan.
+    /// Throughput in operations per virtual second over the window from the
+    /// pool's epoch to the makespan — not from time zero, which would
+    /// understate steady-state throughput after a load phase.
     pub fn ops_per_sec(&self) -> f64 {
-        let secs = self
-            .makespan()
-            .saturating_since(SimTime::ZERO)
-            .as_secs_f64();
+        let secs = self.makespan().saturating_since(self.epoch).as_secs_f64();
         if secs == 0.0 {
             0.0
         } else {
             self.ops as f64 / secs
         }
+    }
+}
+
+/// The result of driving a [`ClosedLoopPool`] to completion.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopReport {
+    /// Operations completed.
+    pub ops: u64,
+    /// The instant the pool started issuing.
+    pub epoch: SimTime,
+    /// The instant the last operation completed.
+    pub makespan: SimTime,
+    /// Per-operation latency (issue to completion).
+    pub latency: Histogram,
+}
+
+impl ClosedLoopReport {
+    /// Throughput in operations per virtual second over `makespan − epoch`.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.makespan.saturating_since(self.epoch).as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+}
+
+/// A closed-loop executor: each of `clients` clients keeps `qd` operations
+/// outstanding at all times, issuing the next one at the very instant a slot
+/// completes. At `qd == 1` this degenerates to the lock-step [`ClientPool`]
+/// discipline; at higher depths it is what actually exercises queuing in the
+/// engine under test.
+///
+/// The pool runs on the event calendar from `twob-sim`: every free slot is a
+/// calendar event carrying its client index, popped in deterministic
+/// `(time, insertion)` order, so two runs with the same operation closure are
+/// byte-identical.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::{SimDuration, SimTime};
+/// use twob_workloads::ClosedLoopPool;
+///
+/// // 2 clients × QD 4 over a fixed 10 us op: 8 ops complete per 10 us round.
+/// let report = ClosedLoopPool::new(2, 4)
+///     .run(SimTime::ZERO, 16, |_client, issue_at| {
+///         issue_at + SimDuration::from_micros(10)
+///     });
+/// assert_eq!(report.ops, 16);
+/// assert_eq!(report.makespan, SimTime::from_nanos(20_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClosedLoopPool {
+    clients: usize,
+    qd: usize,
+}
+
+impl ClosedLoopPool {
+    /// Creates a pool of `clients` clients, each keeping `qd` operations
+    /// outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` or `qd` is zero.
+    pub fn new(clients: usize, qd: usize) -> Self {
+        assert!(clients > 0, "need at least one client");
+        assert!(qd > 0, "need a queue depth of at least one");
+        ClosedLoopPool { clients, qd }
+    }
+
+    /// Queue depth per client.
+    pub fn queue_depth(&self) -> usize {
+        self.qd
+    }
+
+    /// Drives `total_ops` operations starting at `start`. `op` is called as
+    /// `(client, issue_at)` and returns the operation's completion instant
+    /// (clamped forward if the engine reports a completion before the
+    /// issue instant).
+    pub fn run<F>(&self, start: SimTime, total_ops: u64, mut op: F) -> ClosedLoopReport
+    where
+        F: FnMut(usize, SimTime) -> SimTime,
+    {
+        let mut calendar: EventQueue<usize> = EventQueue::new();
+        for client in 0..self.clients {
+            for _ in 0..self.qd {
+                calendar.push(start, client);
+            }
+        }
+        let mut issued = 0u64;
+        let mut report = ClosedLoopReport {
+            ops: 0,
+            epoch: start,
+            makespan: start,
+            latency: Histogram::new(),
+        };
+        // Each calendar entry is a slot becoming free; issuing the next
+        // operation re-posts the slot at that operation's completion.
+        while let Some((free_at, client)) = calendar.pop() {
+            report.makespan = report.makespan.max(free_at);
+            if issued >= total_ops {
+                continue;
+            }
+            issued += 1;
+            let done = op(client, free_at).max(free_at);
+            report.ops += 1;
+            report.latency.record(done.saturating_since(free_at));
+            calendar.push(done, client);
+        }
+        report
     }
 }
 
@@ -155,5 +276,75 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn empty_pool_panics() {
         let _ = ClientPool::new(0);
+    }
+
+    /// Regression: a pool built with `starting_at` after a load phase must
+    /// divide by `makespan − epoch`, not by the makespan from time zero.
+    #[test]
+    fn ops_per_sec_measures_from_epoch() {
+        let load_end = SimTime::from_nanos(1_000_000); // 1 ms load phase
+        let mut pool = ClientPool::starting_at(4, load_end);
+        assert_eq!(pool.epoch(), load_end);
+        for _ in 0..40 {
+            let (c, t) = pool.next_client();
+            pool.complete(c, t + SimDuration::from_micros(10));
+        }
+        // 40 ops over a 100 us steady-state window = 400k ops/s. The old
+        // accounting divided by the 1.1 ms makespan and reported ~36k.
+        assert_eq!(pool.makespan(), load_end + SimDuration::from_micros(100));
+        assert!((pool.ops_per_sec() - 400_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn closed_loop_overlaps_by_queue_depth() {
+        let fixed = SimDuration::from_micros(10);
+        let qd1 = ClosedLoopPool::new(1, 1).run(SimTime::ZERO, 16, |_, t| t + fixed);
+        let qd4 = ClosedLoopPool::new(1, 4).run(SimTime::ZERO, 16, |_, t| t + fixed);
+        assert_eq!(qd1.ops, 16);
+        assert_eq!(qd4.ops, 16);
+        // A fixed-latency engine admits perfect overlap: QD4 finishes 4x
+        // sooner and reports 4x the throughput.
+        assert_eq!(qd1.makespan, SimTime::from_nanos(160_000));
+        assert_eq!(qd4.makespan, SimTime::from_nanos(40_000));
+        assert!((qd4.ops_per_sec() / qd1.ops_per_sec() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_qd1_matches_client_pool() {
+        // At QD1 the closed loop is exactly the lock-step ClientPool
+        // discipline: same makespan, same throughput.
+        let service = |c: usize| SimDuration::from_nanos(5_000 + c as u64 * 900);
+        let start = SimTime::from_nanos(123);
+        let mut pool = ClientPool::starting_at(3, start);
+        for _ in 0..30 {
+            let (c, t) = pool.next_client();
+            pool.complete(c, t + service(c));
+        }
+        let report = ClosedLoopPool::new(3, 1).run(start, 30, |c, t| t + service(c));
+        assert_eq!(report.makespan, pool.makespan());
+        assert!((report.ops_per_sec() - pool.ops_per_sec()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_counts_makespan_from_epoch() {
+        let start = SimTime::from_nanos(2_000_000);
+        let report =
+            ClosedLoopPool::new(2, 2).run(start, 8, |_, t| t + SimDuration::from_micros(10));
+        assert_eq!(report.epoch, start);
+        assert_eq!(report.makespan, start + SimDuration::from_micros(20));
+        assert!((report.ops_per_sec() - 400_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn closed_loop_is_deterministic() {
+        let run = || {
+            ClosedLoopPool::new(4, 8).run(SimTime::ZERO, 100, |c, t| {
+                t + SimDuration::from_nanos(1_000 + (c as u64) * 37)
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.latency.percentile(0.99), b.latency.percentile(0.99));
     }
 }

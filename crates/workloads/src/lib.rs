@@ -14,6 +14,10 @@
 //!   client carries its own clock, the pool always dispatches the
 //!   farthest-behind client, and shared device queues emerge naturally in
 //!   the engine's busy-until resources.
+//! - [`ClosedLoopPool`] — the queue-depth generalization: each client keeps
+//!   `qd` operations outstanding on the `twob-sim` event calendar, issuing
+//!   the next the instant a slot frees, which is what drives devices above
+//!   QD1.
 //!
 //! # Example
 //!
@@ -41,7 +45,7 @@ mod linkbench;
 pub mod trace;
 mod ycsb;
 
-pub use executor::ClientPool;
+pub use executor::{ClientPool, ClosedLoopPool, ClosedLoopReport};
 pub use linkbench::{LinkbenchConfig, LinkbenchWorkload};
 pub use trace::{parse_trace, replay_trace, TraceOp, TraceParseError, TraceReplayReport};
 pub use ycsb::{YcsbConfig, YcsbOp, YcsbWorkload};
