@@ -1,0 +1,39 @@
+//! GC interference: block-path tail vs flat byte path under churn.
+
+fn main() {
+    let rows = twob_bench::gc_interference::run();
+    println!(
+        "GC interference under 80/20 overwrite churn \
+         (GC watermark at free ratio {:.3})\n",
+        twob_bench::gc_interference::gc_threshold_ratio()
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.window.to_string(),
+                r.phase.clone(),
+                format!("{:.3}", r.free_ratio),
+                format!("{:.1}", r.blk_write_p50_us),
+                format!("{:.1}", r.blk_write_p99_us),
+                format!("{:.1}", r.blk_read_p99_us),
+                format!("{:.2}", r.read_gc_share),
+                format!("{:.3}", r.ba_p99_us),
+                r.gc_pages_moved.to_string(),
+                r.gc_erases.to_string(),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &[
+            "win", "phase", "free", "wr p50", "wr p99", "rd p99", "gc shr", "ba p99", "moved",
+            "erases",
+        ],
+        &table,
+    );
+    println!();
+    println!(
+        "json: {}",
+        serde_json::to_string(&rows).expect("serialize gc interference")
+    );
+}

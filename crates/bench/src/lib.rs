@@ -16,6 +16,7 @@
 //! | §V-C commit-overhead claim | [`mod@commit_cost`] | `commit_cost` |
 //! | Design ablations | [`mod@ablations`] | `ablations` |
 //! | QD extension of Fig 8 | [`mod@qd_sweep`] | `qd_sweep` |
+//! | GC interference study | [`mod@gc_interference`] | `gc_interference` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +27,7 @@ pub mod fig10;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod gc_interference;
 pub mod qd_sweep;
 pub mod table1;
 

@@ -28,3 +28,10 @@ fn fig9_json_is_byte_identical_to_pre_kernel_capture() {
     let json = serde_json::to_string(&report).expect("serialize fig9");
     assert_eq!(json, golden("fig9_apps"), "fig9 output drifted");
 }
+
+#[test]
+fn gc_interference_json_is_byte_identical_to_capture() {
+    let rows = twob_bench::gc_interference::run();
+    let json = serde_json::to_string(&rows).expect("serialize gc interference");
+    assert_eq!(json, golden("gc_interference"), "gc study output drifted");
+}

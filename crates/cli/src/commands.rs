@@ -22,6 +22,12 @@ subcommands:
   devices                                calibrated device profiles
   latency  --device dc|ull|twob-mmio|twob-dma
            --op read|write  --size BYTES one latency probe
+           --trace N                     also print the last N device
+                                         trace events (spans)
+  gc       --churn N --seed S --trace N  background-GC churn study on a
+                                         small drive: fill, overwrite N
+                                         times, report tail latency and
+                                         per-stage GC attribution
   wal      --scheme dc|ull|async|ba|pm
            --commits N --payload BYTES   drive a WAL and report costs
   ycsb     --log dc|ull|async|twob
@@ -48,6 +54,7 @@ pub fn dispatch(parsed: &Parsed) -> CliResult {
         "spec" => spec(),
         "devices" => devices(),
         "latency" => latency(parsed),
+        "gc" => gc(parsed),
         "wal" => wal(parsed),
         "ycsb" => ycsb(parsed),
         "replay" => replay(parsed),
@@ -71,17 +78,31 @@ fn spec() -> CliResult {
     Ok(())
 }
 
-fn probe_block(cfg: SsdConfig, write: bool) -> (f64, f64) {
+fn probe_block(cfg: SsdConfig, write: bool) -> (f64, Vec<twob_sim::TraceEvent>) {
     let mut ssd = Ssd::new(cfg.small());
+    ssd.set_tracing(true);
     let page = vec![0xA5u8; 4096];
     let ack = ssd.write(SimTime::ZERO, Lba(0), &page).expect("populate");
     let t = ssd.flush(ack) + SimDuration::from_millis(1);
-    if write {
+    let us = if write {
         let done = ssd.write(t, Lba(0), &page).expect("probe");
-        (done.saturating_since(t).as_micros_f64(), 0.0)
+        done.saturating_since(t).as_micros_f64()
     } else {
         let read = ssd.read(t, Lba(0), 1).expect("probe");
-        (read.complete_at.saturating_since(t).as_micros_f64(), 0.0)
+        read.complete_at.saturating_since(t).as_micros_f64()
+    };
+    (us, ssd.trace_events())
+}
+
+fn print_trace(events: &[twob_sim::TraceEvent], last: u64) {
+    let skip = events.len().saturating_sub(last as usize);
+    println!(
+        "trace (last {} of {} events):",
+        events.len() - skip,
+        events.len()
+    );
+    for ev in &events[skip..] {
+        println!("  {ev}");
     }
 }
 
@@ -108,20 +129,22 @@ fn latency(parsed: &Parsed) -> CliResult {
     let device = parsed.str_or("device", "ull");
     let op = parsed.str_or("op", "read");
     let size = parsed.u64_or("size", 4096)?;
+    let trace = parsed.u64_or("trace", 0)?;
     let write = match op.as_str() {
         "read" => false,
         "write" => true,
         other => return Err(format!("--op must be read or write, not {other:?}").into()),
     };
-    let us = match device.as_str() {
-        "dc" => probe_block(SsdConfig::dc_ssd(), write).0,
-        "ull" => probe_block(SsdConfig::ull_ssd(), write).0,
+    let (us, events) = match device.as_str() {
+        "dc" => probe_block(SsdConfig::dc_ssd(), write),
+        "ull" => probe_block(SsdConfig::ull_ssd(), write),
         "twob-mmio" | "twob-dma" => {
             let mut dev = TwoBSsd::small_for_tests();
+            dev.set_tracing(true);
             let pin = dev.ba_pin(SimTime::ZERO, EntryId(0), 0, Lba(0), 1)?;
             let t = pin.complete_at + SimDuration::from_millis(1);
             let len = size.clamp(1, 4096);
-            if write {
+            let us = if write {
                 let data = vec![0x5Au8; len as usize];
                 let store = dev.mmio_write(t, EntryId(0), 0, &data)?;
                 let sync = dev.ba_sync_range(store.retired_at, EntryId(0), 0, len)?;
@@ -132,7 +155,8 @@ fn latency(parsed: &Parsed) -> CliResult {
             } else {
                 let read = dev.mmio_read(t, EntryId(0), 0, len)?;
                 read.complete_at.saturating_since(t).as_micros_f64()
-            }
+            };
+            (us, dev.trace_events())
         }
         other => {
             return Err(
@@ -141,6 +165,68 @@ fn latency(parsed: &Parsed) -> CliResult {
         }
     };
     println!("{device} {op} of {size} B: {us:.2} us");
+    if trace > 0 {
+        print_trace(&events, trace);
+    }
+    Ok(())
+}
+
+fn gc(parsed: &Parsed) -> CliResult {
+    use twob_sim::Histogram;
+    use twob_ssd::GcPolicy;
+    use twob_workloads::{ChurnConfig, ChurnWorkload};
+
+    let churn = parsed.u64_or("churn", 1_000)?;
+    let seed = parsed.u64_or("seed", 7)?;
+    let trace = parsed.u64_or("trace", 0)?;
+    if churn == 0 {
+        return Err("--churn must be positive".into());
+    }
+    let mut ssd = Ssd::new(
+        SsdConfig::ull_ssd()
+            .small()
+            .with_background_gc(GcPolicy::Greedy),
+    );
+    ssd.set_tracing(trace > 0);
+    let lbas = ssd.capacity_pages();
+    let mut wl = ChurnWorkload::new(ChurnConfig::skewed(lbas, seed));
+    let mut t = SimTime::ZERO;
+    let mut fresh = Histogram::new();
+    for lba in wl.fill_sequence().collect::<Vec<_>>() {
+        let data = wl.page_for(lba, ssd.page_size());
+        let ack = ssd.write(t, lba, &data)?;
+        fresh.record(ack.saturating_since(t));
+        t = ack;
+    }
+    let mut storm = Histogram::new();
+    for _ in 0..churn {
+        let lba = wl.next_lba();
+        let data = wl.page_for(lba, ssd.page_size());
+        let ack = ssd.write(t, lba, &data)?;
+        storm.record(ack.saturating_since(t));
+        t = ack;
+    }
+    let idle = ssd.quiesce_background();
+    let stats = ssd.ftl().stats();
+    let (started, abandoned) = ssd.ftl().gc_job_counts();
+    println!("device:           {} (background GC, greedy)", ssd.label());
+    println!("fill:             {lbas} pages, churn: {churn} overwrites (seed {seed})");
+    println!(
+        "write p50/p99:    fresh {:.1}/{:.1} us, under churn {:.1}/{:.1} us",
+        fresh.percentile(0.50).as_micros_f64(),
+        fresh.percentile(0.99).as_micros_f64(),
+        storm.percentile(0.50).as_micros_f64(),
+        storm.percentile(0.99).as_micros_f64()
+    );
+    println!("waf:              {:.2}", stats.waf());
+    println!(
+        "gc:               {} page moves, {} erases, {} jobs ({} abandoned)",
+        stats.gc_writes, stats.erases, started, abandoned
+    );
+    println!("idle at:          {idle}");
+    if trace > 0 {
+        print_trace(&ssd.trace_events(), trace);
+    }
     Ok(())
 }
 
@@ -375,6 +461,11 @@ mod tests {
         ])
         .unwrap();
         run(&[
+            "latency", "--device", "ull", "--op", "write", "--trace", "8",
+        ])
+        .unwrap();
+        run(&["gc", "--churn", "400", "--seed", "3", "--trace", "12"]).unwrap();
+        run(&[
             "wal",
             "--scheme",
             "pm",
@@ -410,6 +501,8 @@ mod tests {
         assert!(run(&["wal", "--scheme", "carrier-pigeon"]).is_err());
         assert!(run(&["ycsb", "--ops", "10", "--qd", "0"]).is_err());
         assert!(run(&["replay"]).is_err());
+        assert!(run(&["gc", "--churn", "0"]).is_err());
+        assert!(run(&["latency", "--trace", "yes"]).is_err());
         assert!(run(&["faults", "retry"]).is_err());
         assert!(run(&["faults", "sweep", "--cuts", "0"]).is_err());
     }

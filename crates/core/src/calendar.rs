@@ -198,6 +198,10 @@ fn dispatch(
     t: SimTime,
     op: IoOp,
 ) -> (Result<SimTime, TwoBError>, Option<Vec<u8>>) {
+    // Background GC steps and buffer dumps due by `t` fire first, so they
+    // contend with this operation exactly as concurrent hardware would —
+    // including across pure byte-path operations that never reach the SSD.
+    dev.drive_background(t);
     match op {
         IoOp::BaFlush { eid } => (dev.ba_flush(t, eid).map(|c| c.complete_at), None),
         IoOp::BaSync { eid } => (dev.ba_sync(t, eid).map(|c| c.complete_at), None),
@@ -232,6 +236,7 @@ fn dispatch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twob_sim::SimDuration;
 
     fn pinned_dev(lbas: &[u64]) -> (TwoBSsd, Vec<EntryId>) {
         let mut dev = TwoBSsd::small_for_tests();
@@ -368,6 +373,74 @@ mod tests {
         cal.drive(&mut dev);
         let done = cal.drain_completions();
         assert_eq!(done[0].data.as_deref(), Some(&b"calendar bytes"[..]));
+    }
+
+    /// A device with background GC enabled, one BA entry pinned at the top
+    /// of LBA space, and (optionally) enough block-write churn below it to
+    /// put GC permanently in motion.
+    fn gc_device(churn_rounds: u64) -> (TwoBSsd, EntryId, SimTime) {
+        use twob_ssd::{GcPolicy, SsdConfig};
+        let cfg = SsdConfig::base_2b()
+            .small()
+            .with_background_gc(GcPolicy::Greedy);
+        let mut dev = TwoBSsd::new(cfg, crate::TwoBSpec::small_for_tests());
+        let lbas = dev.capacity_pages();
+        let (eid, pin) = dev.ba_pin_auto(SimTime::ZERO, Lba(lbas - 1), 1).unwrap();
+        let mut t = pin.complete_at;
+        let churn_lbas = lbas - 1; // never touch the gated pinned page
+        for i in 0..churn_lbas {
+            t = dev.write_pages(t, Lba(i), &vec![i as u8; 4096]).unwrap();
+        }
+        for i in 0..churn_rounds {
+            let lba = (i * 7) % churn_lbas;
+            t = dev
+                .write_pages(t, Lba(lba), &vec![!(i as u8); 4096])
+                .unwrap();
+        }
+        (dev, eid, t)
+    }
+
+    #[test]
+    fn ba_sync_latency_is_flat_under_gc_storm() {
+        // The byte path commits through MMIO + BA-buffer DRAM only; a GC
+        // storm saturating the dies must not move its latency at all.
+        let (mut idle, eid_i, _) = gc_device(0);
+        let (mut storm, eid_s, t_storm) = gc_device(600);
+        assert!(
+            storm.ssd().ftl().stats().erases > 0,
+            "storm device never collected garbage"
+        );
+        // Same instant on both devices, far enough out that the idle device
+        // is settled and the storm device is mid-churn backlog.
+        let probe = t_storm;
+        let measure = |dev: &mut TwoBSsd, eid: EntryId| {
+            let store = dev.mmio_write(probe, eid, 0, b"flat?").unwrap();
+            let sync = dev.ba_sync_range(store.retired_at, eid, 0, 5).unwrap();
+            sync.complete_at.saturating_since(probe)
+        };
+        let idle_lat = measure(&mut idle, eid_i);
+        let storm_lat = measure(&mut storm, eid_s);
+        assert_eq!(
+            idle_lat, storm_lat,
+            "BA-path commit latency moved under GC: idle {idle_lat} vs storm {storm_lat}"
+        );
+    }
+
+    #[test]
+    fn calendar_dispatch_advances_background_gc() {
+        let (mut dev, eid, t) = gc_device(600);
+        let erases_before = dev.ssd().ftl().stats().erases;
+        // A lone byte-path op far in the future: dispatch must still fire
+        // the GC steps due by then, even though BA_SYNC never touches NAND.
+        let mut cal = IoCalendar::new();
+        cal.submit(t + SimDuration::from_millis(50), IoOp::BaSync { eid });
+        cal.drive(&mut dev);
+        let done = cal.drain_completions();
+        assert!(done[0].error.is_none(), "sync failed: {:?}", done[0].error);
+        assert!(
+            dev.ssd().ftl().stats().erases > erases_before,
+            "calendar dispatch did not drive pending background GC"
+        );
     }
 
     #[test]

@@ -170,14 +170,36 @@ impl TwoBSsd {
     }
 
     /// Enables or disables API-call tracing (disabled by default; keeps
-    /// the last 256 events).
+    /// the last 256 events). Also enables the base SSD's device trace, so
+    /// background GC steps and buffer dumps appear alongside BA-path calls.
     pub fn set_tracing(&mut self, enabled: bool) {
         self.trace.set_enabled(enabled);
+        self.ssd.set_tracing(enabled);
     }
 
-    /// The retained trace events, oldest first.
+    /// The retained trace events — BA-path calls merged with the base
+    /// SSD's block/GC/dump events — in time order, oldest first.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
-        self.trace.iter().cloned().collect()
+        let mut events: Vec<TraceEvent> = self.trace.iter().cloned().collect();
+        events.extend(self.ssd.trace_events());
+        events.sort_by_key(|e| e.at);
+        events
+    }
+
+    /// Advances the base SSD's background stages (buffer dumps, GC steps)
+    /// up to `now`; see [`Ssd::drive_background`]. The [`IoCalendar`]
+    /// calls this on every dispatch so background traffic contends in
+    /// virtual time even across pure byte-path operations.
+    ///
+    /// [`IoCalendar`]: crate::IoCalendar
+    pub fn drive_background(&mut self, now: SimTime) {
+        self.ssd.drive_background(now);
+    }
+
+    /// Runs every pending background event to completion and returns the
+    /// instant the base SSD goes idle; see [`Ssd::quiesce_background`].
+    pub fn quiesce_background(&mut self) -> SimTime {
+        self.ssd.quiesce_background()
     }
 
     /// Live mapping-table entries, in EID order.

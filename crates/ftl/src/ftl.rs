@@ -73,6 +73,44 @@ struct OpenBlock {
     next: u32,
 }
 
+/// One in-flight incremental GC job, bound to a single victim block (and
+/// therefore to the die holding it).
+///
+/// A job is created by [`PageMappedFtl::gc_start`] and advanced one
+/// page-move (or the final erase) at a time by [`PageMappedFtl::gc_step`],
+/// so a scheduler can interleave foreground I/O between steps. Statistics
+/// are charged only when a step executes, never when the job is planned, so
+/// abandoned jobs leave WAF accounting correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcJob {
+    victim: u64,
+    next_page: u32,
+    moved: u32,
+}
+
+impl GcJob {
+    /// Flat index of the victim block being collected.
+    pub fn victim_block(&self) -> u64 {
+        self.victim
+    }
+
+    /// Valid pages relocated so far by executed steps.
+    pub fn pages_moved(&self) -> u32 {
+        self.moved
+    }
+}
+
+/// The outcome of one executed GC step.
+#[derive(Debug, Clone)]
+pub struct GcStepResult {
+    /// The NAND operations this step performed (a read+program pair for a
+    /// page move, or a single erase for the final step).
+    pub ios: Vec<FtlIo>,
+    /// `true` if the job finished: the victim was erased and returned to
+    /// the free pool.
+    pub done: bool,
+}
+
 /// A page-mapped FTL wrapping a [`NandArray`].
 ///
 /// See the crate docs for the design; see [`FtlConfig`] for tunables.
@@ -92,6 +130,12 @@ pub struct PageMappedFtl {
     frontiers: Vec<Option<OpenBlock>>,
     /// Blocks that are fully programmed (GC victim candidates).
     full_blocks: Vec<u64>,
+    /// In-flight incremental GC job per die (at most one per die).
+    gc_jobs: Vec<Option<GcJob>>,
+    /// When `true`, `write` no longer runs watermark GC inline; an external
+    /// scheduler drives jobs via `gc_start`/`gc_step`. A blocking emergency
+    /// collection still fires if the free pool empties entirely.
+    background_gc: bool,
     next_die: usize,
     usable_blocks: u64,
     exported_pages: u64,
@@ -101,6 +145,8 @@ pub struct PageMappedFtl {
     gc_writes: u64,
     erases: u64,
     trims: u64,
+    gc_jobs_started: u64,
+    gc_jobs_abandoned: u64,
 }
 
 impl PageMappedFtl {
@@ -124,8 +170,7 @@ impl PageMappedFtl {
         let mut free: Vec<BinaryHeap<Reverse<(u64, u64)>>> =
             (0..dies).map(|_| BinaryHeap::new()).collect();
         for flat in 0..usable_blocks {
-            let addr = geom.block_from_flat(flat);
-            let die = (addr.channel * geom.ways_per_channel + addr.way) as usize;
+            let die = geom.die_index_of_flat_block(flat);
             free[die].push(Reverse((0, flat)));
         }
         // Headroom beyond the exported space: over-provisioning plus the
@@ -145,6 +190,8 @@ impl PageMappedFtl {
             free,
             frontiers: vec![None; dies],
             full_blocks: Vec::new(),
+            gc_jobs: vec![None; dies],
+            background_gc: false,
             next_die: 0,
             usable_blocks,
             exported_pages,
@@ -154,6 +201,8 @@ impl PageMappedFtl {
             gc_writes: 0,
             erases: 0,
             trims: 0,
+            gc_jobs_started: 0,
+            gc_jobs_abandoned: 0,
         }
     }
 
@@ -197,7 +246,7 @@ impl PageMappedFtl {
     }
 
     fn die_index(&self, die: DieId) -> usize {
-        (die.channel * self.nand.geometry().ways_per_channel + die.way) as usize
+        self.nand.geometry().die_index(die.channel, die.way)
     }
 
     fn check_lba(&self, lba: Lba) -> Result<(), FtlError> {
@@ -297,55 +346,220 @@ impl PageMappedFtl {
         Ok(())
     }
 
-    /// Runs greedy GC until the free pool reaches the high watermark.
-    fn collect_garbage(&mut self, ios: &mut Vec<FtlIo>) -> Result<(), FtlError> {
-        while self.free_total() < self.cfg.gc_high_watermark as usize {
-            // Victim: full block with fewest valid pages.
-            let victim_pos = self
-                .full_blocks
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &flat)| self.valid_count.get(&flat).copied().unwrap_or(0))
-                .map(|(pos, _)| pos);
-            let Some(pos) = victim_pos else {
-                return Err(FtlError::OutOfSpace);
-            };
-            let victim = self.full_blocks.swap_remove(pos);
-            let pages_per_block = self.nand.geometry().pages_per_block;
-            // A victim with every page still valid cannot free space.
-            if self.valid_count.get(&victim).copied().unwrap_or(0) == pages_per_block {
-                self.full_blocks.push(victim);
-                return Err(FtlError::OutOfSpace);
+    /// Returns `true` if the free pool has fallen below the GC trigger
+    /// (low watermark) and collection should start or continue.
+    pub fn gc_needed(&self) -> bool {
+        self.free_total() < self.cfg.gc_low_watermark as usize
+    }
+
+    /// Returns `true` once the free pool has reached the GC stop target
+    /// (high watermark).
+    pub fn gc_satisfied(&self) -> bool {
+        self.free_total() >= self.cfg.gc_high_watermark as usize
+    }
+
+    /// Number of pre-erased blocks currently in the free pool.
+    pub fn free_blocks_now(&self) -> usize {
+        self.free_total()
+    }
+
+    /// Returns `true` if any die has an in-flight GC job.
+    pub fn gc_active(&self) -> bool {
+        self.gc_jobs.iter().any(Option::is_some)
+    }
+
+    /// The in-flight GC job on `die`, if any.
+    pub fn gc_job_on(&self, die: DieId) -> Option<GcJob> {
+        self.gc_jobs[self.die_index(die)]
+    }
+
+    /// Switches between inline watermark GC inside [`PageMappedFtl::write`]
+    /// (the default) and externally scheduled background GC.
+    pub fn set_background_gc(&mut self, background: bool) {
+        self.background_gc = background;
+    }
+
+    /// Returns `true` if GC is driven by an external scheduler.
+    pub fn background_gc(&self) -> bool {
+        self.background_gc
+    }
+
+    /// Lifetime counts of `(jobs started, jobs abandoned)`.
+    pub fn gc_job_counts(&self) -> (u64, u64) {
+        (self.gc_jobs_started, self.gc_jobs_abandoned)
+    }
+
+    /// Plans a new GC job on the greedy victim: the full block with the
+    /// fewest valid pages whose die has no job in flight. Planning charges
+    /// no statistics and performs no NAND work; the job's steps do that as
+    /// they execute.
+    ///
+    /// Returns the die the job is bound to, or `Ok(None)` if candidate
+    /// victims exist but all of their dies are busy collecting already.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if there is no victim that could free
+    /// space: no full blocks at all, or the best victim is fully valid.
+    pub fn gc_start(&mut self) -> Result<Option<DieId>, FtlError> {
+        if self.full_blocks.is_empty() {
+            return Err(FtlError::OutOfSpace);
+        }
+        let victim_pos = self
+            .full_blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, &flat)| self.gc_jobs[self.die_index(self.die_of(flat))].is_none())
+            .min_by_key(|(_, &flat)| self.valid_count.get(&flat).copied().unwrap_or(0))
+            .map(|(pos, _)| pos);
+        let Some(pos) = victim_pos else {
+            return Ok(None);
+        };
+        let victim = self.full_blocks.swap_remove(pos);
+        // A victim with every page still valid cannot free space.
+        if self.valid_count.get(&victim).copied().unwrap_or(0)
+            == self.nand.geometry().pages_per_block
+        {
+            self.full_blocks.push(victim);
+            return Err(FtlError::OutOfSpace);
+        }
+        let die = self.die_of(victim);
+        let die_idx = self.die_index(die);
+        self.gc_jobs[die_idx] = Some(GcJob {
+            victim,
+            next_page: 0,
+            moved: 0,
+        });
+        self.gc_jobs_started += 1;
+        Ok(Some(die))
+    }
+
+    /// Executes one step of the GC job on `die`: relocates the next valid
+    /// page of the victim (one read + one program), or erases the victim if
+    /// no valid pages remain. Statistics (`gc_reads`, `gc_writes`,
+    /// `erases`) are charged here, at execution, so a preempted or
+    /// abandoned job only accounts for the work it actually did.
+    ///
+    /// Returns `Ok(None)` if `die` has no job in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if a relocation finds no writable frontier
+    /// anywhere; the job stays in flight and can be retried or abandoned.
+    pub fn gc_step(&mut self, die: DieId) -> Result<Option<GcStepResult>, FtlError> {
+        let die_idx = self.die_index(die);
+        let Some(mut job) = self.gc_jobs[die_idx] else {
+            return Ok(None);
+        };
+        let pages_per_block = self.nand.geometry().pages_per_block;
+        // Skip pages invalidated since the last step (host overwrites may
+        // race the job between steps).
+        while job.next_page < pages_per_block {
+            let ppa = self.flat_ppa(job.victim, job.next_page);
+            if self.reverse.contains_key(&ppa) {
+                break;
             }
-            // Relocate valid pages.
-            for page in 0..pages_per_block {
-                let ppa = self.flat_ppa(victim, page);
-                let Some(&lba) = self.reverse.get(&ppa) else {
-                    continue;
-                };
-                let addr = self.page_addr(victim, page);
-                let read = self.nand.read_page(addr)?;
-                self.gc_reads += 1;
-                ios.push(FtlIo {
-                    die: self.die_of(victim),
-                    timing: read.timing,
-                    kind: FtlOpKind::GcRead,
-                });
-                self.append_page(lba, &read.data, true, ios)?;
-            }
-            // Erase and return to the free pool.
-            let addr = self.nand.geometry().block_from_flat(victim);
+            job.next_page += 1;
+        }
+        let mut ios = Vec::with_capacity(2);
+        if job.next_page < pages_per_block {
+            let page = job.next_page;
+            let ppa = self.flat_ppa(job.victim, page);
+            let lba = *self.reverse.get(&ppa).expect("page checked valid");
+            let addr = self.page_addr(job.victim, page);
+            let read = self.nand.read_page(addr)?;
+            self.gc_reads += 1;
+            ios.push(FtlIo {
+                die: self.die_of(job.victim),
+                timing: read.timing,
+                kind: FtlOpKind::GcRead,
+            });
+            self.append_page(lba, &read.data, true, &mut ios)?;
+            job.next_page = page + 1;
+            job.moved += 1;
+            self.gc_jobs[die_idx] = Some(job);
+            Ok(Some(GcStepResult { ios, done: false }))
+        } else {
+            // Final step: erase the victim and return it to the free pool.
+            let addr = self.nand.geometry().block_from_flat(job.victim);
             let erase = self.nand.erase_block(addr)?;
             self.erases += 1;
             ios.push(FtlIo {
-                die: self.die_of(victim),
+                die: self.die_of(job.victim),
                 timing: erase,
                 kind: FtlOpKind::Erase,
             });
-            self.valid_count.remove(&victim);
-            let die_idx = self.die_index(self.die_of(victim));
+            self.valid_count.remove(&job.victim);
             let wear = self.nand.erase_count_of(addr);
-            self.free[die_idx].push(Reverse((wear, victim)));
+            self.free[die_idx].push(Reverse((wear, job.victim)));
+            self.gc_jobs[die_idx] = None;
+            Ok(Some(GcStepResult { ios, done: true }))
+        }
+    }
+
+    /// Abandons the GC job on `die`, returning its victim to the candidate
+    /// pool. Pages already moved stay moved (their old copies were
+    /// invalidated by the relocation), so no accounting is undone. Returns
+    /// `true` if a job was abandoned.
+    pub fn gc_abandon(&mut self, die: DieId) -> bool {
+        let die_idx = self.die_index(die);
+        if let Some(job) = self.gc_jobs[die_idx].take() {
+            self.full_blocks.push(job.victim);
+            self.gc_jobs_abandoned += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Abandons every in-flight GC job (e.g. on power loss). Returns the
+    /// number of jobs abandoned.
+    pub fn gc_abandon_all(&mut self) -> u32 {
+        let mut abandoned = 0;
+        for die_idx in 0..self.gc_jobs.len() {
+            if let Some(job) = self.gc_jobs[die_idx].take() {
+                self.full_blocks.push(job.victim);
+                self.gc_jobs_abandoned += 1;
+                abandoned += 1;
+            }
+        }
+        abandoned
+    }
+
+    /// Runs GC jobs to completion, one after another, until the free pool
+    /// reaches the high watermark. This is the blocking driver used for
+    /// inline (foreground) GC and as the emergency path when background
+    /// scheduling falls behind.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if no victim can free space.
+    pub fn run_gc_to_watermark(&mut self, ios: &mut Vec<FtlIo>) -> Result<(), FtlError> {
+        // Drive any in-flight background jobs to completion first so their
+        // victims free up before new ones are planned.
+        for die_idx in 0..self.gc_jobs.len() {
+            while let Some(job) = self.gc_jobs[die_idx] {
+                let die = self.die_of(job.victim);
+                let step = self.gc_step(die)?.expect("job is in flight");
+                ios.extend(step.ios);
+                if step.done {
+                    break;
+                }
+            }
+        }
+        while !self.gc_satisfied() {
+            let die = match self.gc_start()? {
+                Some(die) => die,
+                // Unreachable with no jobs in flight, but be conservative.
+                None => return Err(FtlError::OutOfSpace),
+            };
+            loop {
+                let step = self.gc_step(die)?.expect("job just started");
+                ios.extend(step.ios);
+                if step.done {
+                    break;
+                }
+            }
         }
         Ok(())
     }
@@ -353,7 +567,9 @@ impl PageMappedFtl {
     /// Writes one page at `lba`.
     ///
     /// Returns the physical NAND operations performed, including any GC
-    /// work this write triggered.
+    /// work this write triggered. With background GC enabled, watermark
+    /// collection is left to the external scheduler and only an emergency
+    /// collection (free pool exhausted) blocks here.
     ///
     /// # Errors
     ///
@@ -370,8 +586,14 @@ impl PageMappedFtl {
         }
         let mut ios = Vec::with_capacity(1);
         self.append_page(lba, data, false, &mut ios)?;
-        if self.free_total() < self.cfg.gc_low_watermark as usize {
-            self.collect_garbage(&mut ios)?;
+        let trigger = if self.background_gc {
+            // Emergency only: the scheduler was supposed to keep up.
+            1
+        } else {
+            self.cfg.gc_low_watermark as usize
+        };
+        if self.free_total() < trigger {
+            self.run_gc_to_watermark(&mut ios)?;
         }
         Ok(ios)
     }
@@ -602,6 +824,117 @@ mod tests {
         assert_eq!(reserved.len(), 2);
         // Reserved blocks are the tail of the flat order.
         assert_eq!(reserved[0], geom.block_from_flat(geom.blocks_total() - 2));
+    }
+
+    /// Churns `ftl` enough to accumulate full blocks without triggering GC.
+    fn fill_with_churn(ftl: &mut PageMappedFtl, writes: u64) {
+        let lbas = ftl.exported_pages().min(64);
+        for i in 0..writes {
+            ftl.write(Lba(i % lbas), &page_of(i as u8)).unwrap();
+        }
+    }
+
+    #[test]
+    fn gc_counters_charged_at_step_execution_not_planning() {
+        let mut ftl = small_ftl(0.25);
+        ftl.set_background_gc(true);
+        fill_with_churn(&mut ftl, 96);
+        let before = ftl.stats();
+        let die = ftl
+            .gc_start()
+            .expect("victims exist")
+            .expect("no die is busy");
+        // Planning the job charges nothing.
+        assert_eq!(ftl.stats(), before);
+        let step = ftl.gc_step(die).unwrap().expect("job in flight");
+        let after = ftl.stats();
+        if step.done {
+            assert_eq!(after.erases, before.erases + 1);
+            assert_eq!(after.gc_reads, before.gc_reads);
+        } else {
+            assert_eq!(after.gc_reads, before.gc_reads + 1);
+            assert_eq!(after.gc_writes, before.gc_writes + 1);
+            assert_eq!(after.erases, before.erases);
+        }
+    }
+
+    #[test]
+    fn abandoned_job_keeps_accounting_and_data_intact() {
+        let mut ftl = small_ftl(0.25);
+        ftl.set_background_gc(true);
+        fill_with_churn(&mut ftl, 96);
+        let die = ftl.gc_start().unwrap().expect("no die is busy");
+        let job = ftl.gc_job_on(die).expect("job planned");
+        let victim = job.victim_block();
+        // Execute one page move, then abandon.
+        let step = ftl.gc_step(die).unwrap().unwrap();
+        assert!(!step.done, "victim should have at least one valid page");
+        let mid = ftl.stats();
+        assert!(ftl.gc_abandon(die));
+        assert!(!ftl.gc_abandon(die), "double abandon must be a no-op");
+        // Abandoning charges nothing and undoes nothing: WAF still counts
+        // exactly the executed page move.
+        assert_eq!(ftl.stats(), mid);
+        assert_eq!(ftl.gc_job_counts(), (1, 1));
+        // The victim is a candidate again and a fresh job can finish it.
+        let die2 = ftl.gc_start().unwrap().expect("victim re-eligible");
+        assert_eq!(
+            ftl.gc_job_on(die2).unwrap().victim_block(),
+            victim,
+            "abandoned victim (fewest valid pages) should be re-picked"
+        );
+        loop {
+            let step = ftl.gc_step(die2).unwrap().unwrap();
+            if step.done {
+                break;
+            }
+        }
+        // All data still reads back.
+        let lbas = ftl.exported_pages().min(64);
+        for lba in 0..lbas {
+            assert!(ftl.read(Lba(lba)).is_ok());
+        }
+    }
+
+    #[test]
+    fn background_mode_matches_inline_gc_byte_for_byte() {
+        let mut inline_ftl = small_ftl(0.25);
+        let mut bg = small_ftl(0.25);
+        bg.set_background_gc(true);
+        let lbas = inline_ftl.exported_pages().min(64);
+        for i in 0u64..(12 * lbas) {
+            let lba = Lba(i % lbas);
+            let data = page_of(i as u8);
+            inline_ftl.write(lba, &data).unwrap();
+            bg.write(lba, &data).unwrap();
+            // Drive the state machine at the same trigger point the inline
+            // path uses; the two must stay in lock-step.
+            if bg.gc_needed() {
+                let mut ios = Vec::new();
+                bg.run_gc_to_watermark(&mut ios).unwrap();
+            }
+            assert_eq!(inline_ftl.stats(), bg.stats(), "diverged at write {i}");
+        }
+        assert!(inline_ftl.stats().erases > 0, "GC never ran");
+    }
+
+    #[test]
+    fn gc_under_churn_is_deterministic() {
+        let run = || {
+            let mut ftl = small_ftl(0.25);
+            let lbas = ftl.exported_pages().min(64);
+            let mut timeline = Vec::new();
+            for i in 0u64..(10 * lbas) {
+                let ios = ftl.write(Lba((i * 7) % lbas), &page_of(i as u8)).unwrap();
+                timeline.push(ios.len());
+            }
+            (ftl.stats(), timeline)
+        };
+        let (stats_a, tl_a) = run();
+        let (stats_b, tl_b) = run();
+        assert_eq!(stats_a, stats_b, "FtlStats must be byte-identical");
+        assert_eq!(tl_a, tl_b, "per-write io timelines must be identical");
+        assert!(stats_a.erases > 0, "GC never ran");
     }
 
     #[test]

@@ -44,5 +44,5 @@ mod stats;
 
 pub use config::FtlConfig;
 pub use error::FtlError;
-pub use ftl::{DieId, FtlIo, FtlOpKind, Lba, PageMappedFtl};
+pub use ftl::{DieId, FtlIo, FtlOpKind, GcJob, GcStepResult, Lba, PageMappedFtl};
 pub use stats::FtlStats;

@@ -91,6 +91,25 @@ impl NandGeometry {
         self.pages_per_block as u64 * self.page_size as u64
     }
 
+    /// Flat die index for a `(channel, way)` pair, in `[0, dies_total)`.
+    ///
+    /// This is the single source of truth for die numbering: the FTL's
+    /// per-die free pools and the SSD's die servers both index with it, so
+    /// GC and host I/O can never disagree on die routing.
+    pub const fn die_index(&self, channel: u32, way: u32) -> usize {
+        (channel * self.ways_per_channel + way) as usize
+    }
+
+    /// Flat die index of the die holding flat block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn die_index_of_flat_block(&self, index: u64) -> usize {
+        let addr = self.block_from_flat(index);
+        self.die_index(addr.channel, addr.way)
+    }
+
     /// Builds a [`BlockAddr`], validating each coordinate.
     ///
     /// # Panics
@@ -253,6 +272,25 @@ mod tests {
         for idx in 0..g.blocks_total() {
             let addr = g.block_from_flat(idx);
             assert_eq!(g.block_to_flat(addr), idx);
+        }
+    }
+
+    #[test]
+    fn die_index_covers_all_dies_exactly_once_per_block_group() {
+        let g = NandGeometry::small_test();
+        let mut seen = vec![0u32; g.dies_total() as usize];
+        for ch in 0..g.channels {
+            for way in 0..g.ways_per_channel {
+                seen[g.die_index(ch, way)] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "die_index is not a bijection");
+        for idx in 0..g.blocks_total() {
+            let addr = g.block_from_flat(idx);
+            assert_eq!(
+                g.die_index_of_flat_block(idx),
+                g.die_index(addr.channel, addr.way)
+            );
         }
     }
 

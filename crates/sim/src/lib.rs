@@ -41,6 +41,7 @@ mod crc;
 mod event;
 mod resource;
 mod rng;
+mod span;
 mod stats;
 mod time;
 mod trace;
@@ -50,6 +51,7 @@ pub use crc::{crc32, crc32_update};
 pub use event::{EventQueue, Executor};
 pub use resource::{MultiServer, ScheduledSpan, Server};
 pub use rng::{SimRng, Zipfian};
+pub use span::LatencyBreakdown;
 pub use stats::{Histogram, RunningStats, Throughput};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceRing};

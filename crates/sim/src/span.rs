@@ -1,0 +1,157 @@
+//! Per-stage latency attribution for completed operations.
+//!
+//! A [`LatencyBreakdown`] splits one command's end-to-end latency into the
+//! stages it passed through on the device pipeline: firmware, write-cache
+//! slot wait, die/channel queue wait (further split into the part caused by
+//! background GC occupancy), NAND cell busy time, and bus transfer time.
+//! The SSD layer accumulates one per command and attaches it to the
+//! completion, so benches can answer *why* a tail-latency sample was slow,
+//! not just that it was.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimDuration;
+
+/// Where one completed operation spent its virtual time, stage by stage.
+///
+/// The components are additive but intentionally not forced to equal the
+/// end-to-end latency: stages overlapped by parallelism (e.g. multi-die
+/// stripes) contribute their full busy time, which can exceed wall latency.
+///
+/// # Example
+///
+/// ```rust
+/// use twob_sim::{LatencyBreakdown, SimDuration};
+///
+/// let mut b = LatencyBreakdown::default();
+/// b.queue_wait += SimDuration::from_micros(3);
+/// b.gc_wait += SimDuration::from_micros(2);
+/// b.nand_busy += SimDuration::from_micros(7);
+/// assert_eq!(b.total_wait(), SimDuration::from_micros(5));
+/// assert!(b.gc_share() > 0.0);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Hash,
+)]
+pub struct LatencyBreakdown {
+    /// Firmware/FTL core occupancy (fetch + translation).
+    pub firmware: SimDuration,
+    /// Time spent waiting for a free write-cache slot (destage backlog).
+    pub slot_wait: SimDuration,
+    /// Time queued behind other work on dies/channels, excluding GC.
+    pub queue_wait: SimDuration,
+    /// Portion of the queue wait attributable to background GC occupancy.
+    pub gc_wait: SimDuration,
+    /// NAND cell busy time (sense, program, erase).
+    pub nand_busy: SimDuration,
+    /// Channel/host bus transfer time.
+    pub xfer: SimDuration,
+}
+
+impl LatencyBreakdown {
+    /// A breakdown with every component zero.
+    pub const ZERO: LatencyBreakdown = LatencyBreakdown {
+        firmware: SimDuration::ZERO,
+        slot_wait: SimDuration::ZERO,
+        queue_wait: SimDuration::ZERO,
+        gc_wait: SimDuration::ZERO,
+        nand_busy: SimDuration::ZERO,
+        xfer: SimDuration::ZERO,
+    };
+
+    /// Total time spent waiting rather than being serviced
+    /// (slot wait + queue wait + GC-induced wait).
+    pub fn total_wait(&self) -> SimDuration {
+        self.slot_wait + self.queue_wait + self.gc_wait
+    }
+
+    /// Total time spent being serviced by a resource.
+    pub fn service(&self) -> SimDuration {
+        self.firmware + self.nand_busy + self.xfer
+    }
+
+    /// Fraction of the accounted time attributable to GC interference,
+    /// in `[0, 1]`; zero when nothing was accounted.
+    pub fn gc_share(&self) -> f64 {
+        let total = self.total_wait() + self.service();
+        if total == SimDuration::ZERO {
+            0.0
+        } else {
+            self.gc_wait.as_nanos() as f64 / total.as_nanos() as f64
+        }
+    }
+
+    /// Component-wise accumulation of `other` into `self`.
+    pub fn accumulate(&mut self, other: &LatencyBreakdown) {
+        self.firmware += other.firmware;
+        self.slot_wait += other.slot_wait;
+        self.queue_wait += other.queue_wait;
+        self.gc_wait += other.gc_wait;
+        self.nand_busy += other.nand_busy;
+        self.xfer += other.xfer;
+    }
+}
+
+impl std::fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fw={} slot={} queue={} gc={} nand={} xfer={}",
+            self.firmware, self.slot_wait, self.queue_wait, self.gc_wait, self.nand_busy, self.xfer
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_breakdown_has_no_gc_share() {
+        let b = LatencyBreakdown::ZERO;
+        assert_eq!(b.gc_share(), 0.0);
+        assert_eq!(b.total_wait(), SimDuration::ZERO);
+        assert_eq!(b.service(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn accumulate_is_component_wise() {
+        let mut a = LatencyBreakdown {
+            firmware: SimDuration::from_micros(1),
+            nand_busy: SimDuration::from_micros(2),
+            ..LatencyBreakdown::ZERO
+        };
+        let b = LatencyBreakdown {
+            firmware: SimDuration::from_micros(3),
+            gc_wait: SimDuration::from_micros(4),
+            ..LatencyBreakdown::ZERO
+        };
+        a.accumulate(&b);
+        assert_eq!(a.firmware, SimDuration::from_micros(4));
+        assert_eq!(a.gc_wait, SimDuration::from_micros(4));
+        assert_eq!(a.nand_busy, SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn gc_share_reflects_gc_fraction() {
+        let b = LatencyBreakdown {
+            gc_wait: SimDuration::from_micros(25),
+            nand_busy: SimDuration::from_micros(75),
+            ..LatencyBreakdown::ZERO
+        };
+        assert!((b.gc_share() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_serializes_every_component() {
+        let b = LatencyBreakdown {
+            firmware: SimDuration::from_micros(9),
+            slot_wait: SimDuration::from_micros(1),
+            ..LatencyBreakdown::ZERO
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        for field in ["firmware", "slot_wait", "queue_wait", "gc_wait"] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

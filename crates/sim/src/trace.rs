@@ -6,19 +6,40 @@ use std::fmt;
 use crate::SimTime;
 
 /// One trace event: a timestamped label with a free-form detail string.
+///
+/// An event may be a *point* (`end == at`, e.g. an API call) or a *span*
+/// covering `[at, end]` in virtual time (e.g. one GC step occupying a die),
+/// recorded via [`TraceRing::push_span`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// When the event occurred in virtual time.
+    /// When the event occurred (or began) in virtual time.
     pub at: SimTime,
-    /// Short category label, e.g. `"ba_pin"` or `"nand.program"`.
+    /// When the event finished; equals `at` for point events.
+    pub end: SimTime,
+    /// Short category label, e.g. `"ba_pin"` or `"gc.step"`.
     pub label: &'static str,
     /// Human-readable details.
     pub detail: String,
 }
 
+impl TraceEvent {
+    /// Returns `true` if this event covers a non-zero span of virtual time.
+    pub fn is_span(&self) -> bool {
+        self.end > self.at
+    }
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {}", self.at, self.label, self.detail)
+        if self.is_span() {
+            write!(
+                f,
+                "[{}..{}] {}: {}",
+                self.at, self.end, self.label, self.detail
+            )
+        } else {
+            write!(f, "[{}] {}: {}", self.at, self.label, self.detail)
+        }
     }
 }
 
@@ -66,15 +87,27 @@ impl TraceRing {
         self.enabled
     }
 
-    /// Records an event if enabled and capacity is non-zero.
+    /// Records a point event if enabled and capacity is non-zero.
     pub fn push(&mut self, at: SimTime, label: &'static str, detail: String) {
+        self.push_span(at, at, label, detail);
+    }
+
+    /// Records a span event covering `[at, end]` if enabled and capacity is
+    /// non-zero. Spans are how background stages (GC steps, buffer dumps)
+    /// report the virtual time they occupied a resource.
+    pub fn push_span(&mut self, at: SimTime, end: SimTime, label: &'static str, detail: String) {
         if !self.enabled || self.capacity == 0 {
             return;
         }
         if self.events.len() == self.capacity {
             self.events.pop_front();
         }
-        self.events.push_back(TraceEvent { at, label, detail });
+        self.events.push_back(TraceEvent {
+            at,
+            end,
+            label,
+            detail,
+        });
     }
 
     /// Number of retained events.
@@ -133,9 +166,26 @@ mod tests {
     fn event_display_is_nonempty() {
         let ev = TraceEvent {
             at: SimTime::from_nanos(1_500),
+            end: SimTime::from_nanos(1_500),
             label: "io",
             detail: "read".into(),
         };
         assert!(ev.to_string().contains("io"));
+        assert!(!ev.is_span());
+    }
+
+    #[test]
+    fn span_events_render_their_interval() {
+        let mut ring = TraceRing::with_capacity(4);
+        ring.set_enabled(true);
+        ring.push_span(
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(40),
+            "gc.step",
+            "die 2".into(),
+        );
+        let ev = ring.iter().next().unwrap();
+        assert!(ev.is_span());
+        assert!(ev.to_string().contains(".."));
     }
 }

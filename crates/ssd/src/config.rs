@@ -17,6 +17,34 @@ pub struct ErrorInjection {
     pub seed: u64,
 }
 
+/// How garbage collection is driven on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcMode {
+    /// Watermark GC runs synchronously inside the write path (the legacy
+    /// model): all relocation I/O of a collection is charged in one batch
+    /// at the instant the triggering write destages.
+    Inline,
+    /// GC runs as chained background events on the device calendar: each
+    /// job yields one page-move step at a time, and steps contend with
+    /// foreground I/O on the same die/channel servers.
+    Background,
+}
+
+/// Foreground-priority policy for background GC: how aggressively GC steps
+/// are scheduled relative to foreground traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcPolicy {
+    /// Chain the next step immediately when the previous one finishes; GC
+    /// competes with foreground I/O at full tilt.
+    Greedy,
+    /// Leave a gap of idle virtual time between consecutive steps, giving
+    /// queued foreground I/O a window to claim the dies first.
+    Yield {
+        /// Idle time inserted between consecutive GC steps.
+        gap: SimDuration,
+    },
+}
+
 /// Full configuration of a simulated SSD.
 ///
 /// The three presets ([`SsdConfig::dc_ssd`], [`SsdConfig::ull_ssd`],
@@ -62,6 +90,12 @@ pub struct SsdConfig {
     pub internal_datapath_bytes_per_sec: u64,
     /// Optional bit-error injection (`None` = perfectly reliable medium).
     pub error_injection: Option<ErrorInjection>,
+    /// How GC is driven (inline in the write path, or as background
+    /// calendar events).
+    pub gc_mode: GcMode,
+    /// Foreground-priority policy for background GC steps; ignored in
+    /// [`GcMode::Inline`].
+    pub gc_policy: GcPolicy,
 }
 
 impl SsdConfig {
@@ -86,6 +120,8 @@ impl SsdConfig {
             flush_ack: SimDuration::from_micros(5),
             internal_datapath_bytes_per_sec: 0,
             error_injection: None,
+            gc_mode: GcMode::Inline,
+            gc_policy: GcPolicy::Greedy,
         }
     }
 
@@ -111,6 +147,8 @@ impl SsdConfig {
             flush_ack: SimDuration::from_micros(3),
             internal_datapath_bytes_per_sec: 0,
             error_injection: None,
+            gc_mode: GcMode::Inline,
+            gc_policy: GcPolicy::Greedy,
         }
     }
 
@@ -158,6 +196,15 @@ impl SsdConfig {
             page_size: 4096,
             spare_per_page: 128,
         };
+        self
+    }
+
+    /// Switches the device to event-driven background GC with the given
+    /// foreground-priority policy.
+    #[must_use]
+    pub fn with_background_gc(mut self, policy: GcPolicy) -> Self {
+        self.gc_mode = GcMode::Background;
+        self.gc_policy = policy;
         self
     }
 

@@ -46,7 +46,7 @@ mod error;
 mod queue;
 mod traits;
 
-pub use config::{ErrorInjection, SsdConfig};
+pub use config::{ErrorInjection, GcMode, GcPolicy, SsdConfig};
 pub use device::{BlockRead, Ssd, SsdStats};
 pub use error::SsdError;
 pub use queue::{NvmeCompletion, NvmeEvent, NvmeOp, NvmeSsd, QdReport, QueueConfig, QueueFull};

@@ -40,7 +40,7 @@
 use std::collections::VecDeque;
 
 use twob_ftl::Lba;
-use twob_sim::{Executor, Histogram, SimTime};
+use twob_sim::{Executor, Histogram, LatencyBreakdown, SimTime};
 
 use crate::{BlockRead, Ssd, SsdError};
 
@@ -120,6 +120,9 @@ pub struct NvmeCompletion {
     pub completed: SimTime,
     /// Bytes moved (0 for flush or on error).
     pub bytes: u64,
+    /// Where the command spent its virtual time, stage by stage
+    /// (zero for flush or on error).
+    pub breakdown: LatencyBreakdown,
     /// Read payload, or the device error.
     pub result: Result<Option<Vec<u8>>, SsdError>,
 }
@@ -320,16 +323,20 @@ impl NvmeSsd {
     fn execute(&mut self, exec: &mut Executor<NvmeEvent>, cmd: Sqe, fw_end: SimTime) {
         let page_size = self.ssd.page_size();
         let bytes = cmd.op.bytes(page_size);
-        let (completed, result) = match cmd.op {
+        let (completed, breakdown, result) = match cmd.op {
             NvmeOp::Read { lba, pages } => match self.ssd.queued_read(fw_end, lba, pages) {
-                Ok(BlockRead { data, complete_at }) => (complete_at, Ok(Some(data))),
-                Err(e) => (fw_end, Err(e)),
+                Ok(BlockRead {
+                    data,
+                    complete_at,
+                    breakdown,
+                }) => (complete_at, breakdown, Ok(Some(data))),
+                Err(e) => (fw_end, LatencyBreakdown::ZERO, Err(e)),
             },
             NvmeOp::Write { lba, data } => match self.ssd.queued_write(fw_end, lba, &data) {
-                Ok(ack) => (ack, Ok(None)),
-                Err(e) => (fw_end, Err(e)),
+                Ok(ack) => (ack, self.ssd.last_breakdown(), Ok(None)),
+                Err(e) => (fw_end, LatencyBreakdown::ZERO, Err(e)),
             },
-            NvmeOp::Flush => (self.ssd.flush(fw_end), Ok(None)),
+            NvmeOp::Flush => (self.ssd.flush(fw_end), LatencyBreakdown::ZERO, Ok(None)),
         };
         let entry = NvmeCompletion {
             id: cmd.id,
@@ -338,6 +345,7 @@ impl NvmeSsd {
             fetched: fw_end,
             completed,
             bytes: if result.is_ok() { bytes } else { 0 },
+            breakdown,
             result,
         };
         exec.post(completed, NvmeEvent(Kind::Complete { entry }));

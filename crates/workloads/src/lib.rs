@@ -10,6 +10,9 @@
 //!   behind Figs 7 and 8.
 //! - [`mod@trace`] — a block-trace parser and replayer for driving devices
 //!   with preprocessed FIU/MSR-style traces.
+//! - [`ChurnWorkload`] — seeded overwrite churn (uniform or 80/20 skewed)
+//!   that drains the free-block pool and keeps GC busy; the stimulus for
+//!   the `gc_interference` study.
 //! - [`ClientPool`] — a multi-client virtual-time executor: each simulated
 //!   client carries its own clock, the pool always dispatches the
 //!   farthest-behind client, and shared device queues emerge naturally in
@@ -39,12 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod executor;
 pub mod fio;
 mod linkbench;
 pub mod trace;
 mod ycsb;
 
+pub use churn::{ChurnConfig, ChurnWorkload};
 pub use executor::{ClientPool, ClosedLoopPool, ClosedLoopReport};
 pub use linkbench::{LinkbenchConfig, LinkbenchWorkload};
 pub use trace::{parse_trace, replay_trace, TraceOp, TraceParseError, TraceReplayReport};
