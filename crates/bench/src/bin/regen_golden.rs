@@ -1,0 +1,30 @@
+//! Regenerates every golden fixture under `tests/golden/` from the current
+//! simulator.
+//!
+//! Run after an *intentional* timing change, then review the diff:
+//!
+//! ```text
+//! cargo run --release -p twob-bench --bin regen_golden
+//! git diff crates/bench/tests/golden/
+//! ```
+//!
+//! The golden tests in `tests/golden.rs` pin these files byte-for-byte, so
+//! an unintentional kernel drift fails tests instead of silently shifting
+//! figures.
+
+use serde::Serialize;
+
+fn write_fixture<T: Serialize + std::fmt::Debug>(name: &str, value: &T) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/");
+    let path = format!("{dir}{name}.json");
+    let json = serde_json::to_string(value).expect("serialize fixture");
+    std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path} ({} bytes)", json.len() + 1);
+}
+
+fn main() {
+    write_fixture("fig7_latency", &twob_bench::fig7::run());
+    write_fixture("fig9_apps", &twob_bench::fig9::run(false));
+    write_fixture("gc_interference", &twob_bench::gc_interference::run());
+    write_fixture("tenant_sweep", &twob_bench::tenant_sweep::run());
+}

@@ -1,0 +1,54 @@
+//! Tenant sweep: per-tenant commit latency as 1 → 64 mixed-engine tenants
+//! share one 2B-SSD, BA-WAL vs block-WAL.
+
+use twob_workloads::WalScheme;
+
+fn main() {
+    let rows = twob_bench::tenant_sweep::run();
+    println!(
+        "Tenant sweep: pg/rocks/redis mix sharing one device \
+         (seed {}, knee at {}x single-tenant p99)\n",
+        twob_bench::tenant_sweep::SEED,
+        twob_bench::tenant_sweep::KNEE_FACTOR,
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tenants.to_string(),
+                r.scheme.clone(),
+                r.commits.to_string(),
+                r.batches.to_string(),
+                format!("{:.1}", r.grouped_pct),
+                format!("{:.2}", r.p50_us),
+                format!("{:.2}", r.p99_us),
+                format!("{:.2}", r.worst_tenant_p99_us),
+                format!("{:.0}", r.commits_per_sec),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &[
+            "tenants",
+            "scheme",
+            "commits",
+            "batches",
+            "grp %",
+            "p50 us",
+            "p99 us",
+            "worst p99",
+            "commit/s",
+        ],
+        &table,
+    );
+    for scheme in [WalScheme::Ba, WalScheme::Block] {
+        match twob_bench::tenant_sweep::knee(&rows, scheme) {
+            Some(n) => println!("\n{} knee: {n} tenants", scheme.label()),
+            None => println!("\n{} knee: none within the sweep", scheme.label()),
+        }
+    }
+    println!(
+        "\njson: {}",
+        serde_json::to_string(&rows).expect("serialize tenant sweep")
+    );
+}

@@ -17,6 +17,10 @@
 //! | Design ablations | [`mod@ablations`] | `ablations` |
 //! | QD extension of Fig 8 | [`mod@qd_sweep`] | `qd_sweep` |
 //! | GC interference study | [`mod@gc_interference`] | `gc_interference` |
+//! | Multi-tenant sweep of §V co-location | [`mod@tenant_sweep`] | `tenant_sweep` |
+//!
+//! The `regen_golden` binary re-captures every fixture under
+//! `tests/golden/` from the current simulator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +34,7 @@ pub mod fig9;
 pub mod gc_interference;
 pub mod qd_sweep;
 pub mod table1;
+pub mod tenant_sweep;
 
 /// Prints a simple aligned table: a header row then data rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

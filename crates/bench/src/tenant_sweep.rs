@@ -1,0 +1,184 @@
+//! Tenant sweep: does BA-WAL's commit-latency advantage survive sharing?
+//!
+//! The paper demonstrates co-location once (§V runs PostgreSQL, RocksDB,
+//! and Redis concurrently on the prototype) but never sweeps the tenant
+//! count. This study does: 1, 4, 16, and 64 tenants — a pg/rocks/redis mix
+//! assigned round-robin — run the same seeded workloads on one shared
+//! device under both logging schemes:
+//!
+//! - **ba** — per-tenant BA-WAL windows, arbitrated by the host
+//!   [`twob_core::PinTable`] over the device's BA buffer (each tenant gets
+//!   an equal share; 64 tenants × 4-page windows need a 64-entry table, a
+//!   deliberate deviation from the 8-entry prototype that DESIGN.md §6
+//!   discusses);
+//! - **block** — conventional page-write + flush WAL on the *same*
+//!   chassis's block path (the paper's base SSD serves block I/O like a
+//!   ULL-SSD).
+//!
+//! Two questions: does BA commit p99 stay under block commit p99 at every
+//! tenant count, and where is the interference knee — the count at which
+//! p99 departs from the single-tenant baseline by more than
+//! [`KNEE_FACTOR`]×?
+
+use serde::{Deserialize, Serialize};
+use twob_core::{TwoBSpec, TwoBSsd};
+use twob_ssd::SsdConfig;
+use twob_workloads::{EngineKind, TenantPool, TenantPoolConfig, WalScheme};
+
+/// Tenant counts the sweep visits.
+pub const TENANT_COUNTS: [u16; 4] = [1, 4, 16, 64];
+
+/// A tenant count "knees" when its p99 exceeds this multiple of the
+/// single-tenant p99 for the same scheme.
+pub const KNEE_FACTOR: f64 = 2.0;
+
+/// Seed shared by every cell, so schemes see identical op streams.
+pub const SEED: u64 = 61;
+
+/// One `(tenant count, scheme)` cell of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Tenant count.
+    pub tenants: u16,
+    /// Scheme label (`"ba"` or `"block"`).
+    pub scheme: String,
+    /// Commits that reached a durability point, across all tenants.
+    pub commits: u64,
+    /// Group-commit batches issued.
+    pub batches: u64,
+    /// Percentage of commits that shared a batch.
+    pub grouped_pct: f64,
+    /// Median commit latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile commit latency, µs.
+    pub p99_us: f64,
+    /// Worst single tenant's p99, µs.
+    pub worst_tenant_p99_us: f64,
+    /// Aggregate commit throughput.
+    pub commits_per_sec: f64,
+}
+
+/// The device every cell runs on: bench-scale NAND behind a 1 MiB BA
+/// buffer whose mapping table is virtualized to 64 entries so each of up
+/// to 64 tenants can hold a window (DESIGN.md §6).
+fn device() -> TwoBSsd {
+    let spec = TwoBSpec {
+        ba_buffer_bytes: 1 << 20,
+        max_entries: 64,
+        ..TwoBSpec::default()
+    };
+    TwoBSsd::new(SsdConfig::base_2b().bench_scale(), spec)
+}
+
+/// The per-cell pool configuration: the pg/rocks/redis round-robin mix at
+/// 200 ops per tenant.
+fn pool_config(tenants: u16, scheme: WalScheme) -> TenantPoolConfig {
+    TenantPoolConfig {
+        ops_per_tenant: 200,
+        ..TenantPoolConfig::standard(
+            tenants,
+            vec![EngineKind::Pg, EngineKind::Rocks, EngineKind::Redis],
+            scheme,
+            SEED,
+        )
+    }
+}
+
+/// Runs one cell of the sweep on a fresh device.
+///
+/// # Panics
+///
+/// Panics if the cell's configuration is rejected or an engine fails —
+/// the sweep's presets are all valid.
+pub fn cell(tenants: u16, scheme: WalScheme) -> Row {
+    let mut pool =
+        TenantPool::new(device(), pool_config(tenants, scheme)).expect("valid sweep cell");
+    let report = pool.run().expect("sweep cell runs");
+    Row {
+        tenants: report.tenants,
+        scheme: report.scheme,
+        commits: report.commits,
+        batches: report.batches,
+        grouped_pct: report.grouped_pct,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        worst_tenant_p99_us: report.worst_tenant_p99_us,
+        commits_per_sec: report.commits_per_sec,
+    }
+}
+
+/// Runs the full sweep: both schemes at every tenant count.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &TENANT_COUNTS {
+        for scheme in [WalScheme::Ba, WalScheme::Block] {
+            rows.push(cell(n, scheme));
+        }
+    }
+    rows
+}
+
+/// The interference knee for `scheme`: the smallest tenant count whose p99
+/// exceeds [`KNEE_FACTOR`] × the single-tenant p99, if any.
+pub fn knee(rows: &[Row], scheme: WalScheme) -> Option<u16> {
+    let base = rows
+        .iter()
+        .find(|r| r.scheme == scheme.label() && r.tenants == 1)?
+        .p99_us;
+    rows.iter()
+        .filter(|r| r.scheme == scheme.label() && r.p99_us > KNEE_FACTOR * base)
+        .map(|r| r.tenants)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cell_is_deterministic() {
+        assert_eq!(cell(4, WalScheme::Ba), cell(4, WalScheme::Ba));
+    }
+
+    #[test]
+    fn sweep_shape_holds() {
+        let rows = run();
+        assert_eq!(rows.len(), TENANT_COUNTS.len() * 2);
+        for &n in &TENANT_COUNTS {
+            let ba = rows
+                .iter()
+                .find(|r| r.tenants == n && r.scheme == "ba")
+                .unwrap();
+            let block = rows
+                .iter()
+                .find(|r| r.tenants == n && r.scheme == "block")
+                .unwrap();
+            // The headline: BA-WAL's tail advantage survives sharing at
+            // every tenant count.
+            assert!(
+                ba.p99_us < block.p99_us,
+                "{n} tenants: ba p99 {} >= block p99 {}",
+                ba.p99_us,
+                block.p99_us
+            );
+            assert!(ba.p50_us < block.p50_us, "{n} tenants: p50");
+            assert!(ba.commits > 0 && block.commits > 0);
+        }
+        // Contention grows the BA tail monotonically across the sweep.
+        let ba_p99: Vec<f64> = TENANT_COUNTS
+            .iter()
+            .map(|&n| {
+                rows.iter()
+                    .find(|r| r.tenants == n && r.scheme == "ba")
+                    .unwrap()
+                    .p99_us
+            })
+            .collect();
+        assert!(
+            ba_p99.windows(2).all(|w| w[0] <= w[1]),
+            "ba p99 not monotone: {ba_p99:?}"
+        );
+        // And the knee exists within the sweep for the byte path.
+        assert!(knee(&rows, WalScheme::Ba).is_some(), "no ba knee: {rows:?}");
+    }
+}

@@ -1,11 +1,11 @@
-//! Golden figure output: the event-kernel refactor must be invisible at
-//! queue depth 1.
+//! Golden figure output: simulator changes must not silently shift figures.
 //!
-//! The fixtures under `tests/golden/` were captured from the bench binaries
-//! before the simulator moved from busy-until arithmetic to the explicit
-//! event calendar. These tests pin that the figures' JSON is *byte
-//! identical* — not merely numerically close — so any timing drift in the
-//! kernel shows up as a diff, not as a silently shifted figure.
+//! The fixtures under `tests/golden/` pin each study's JSON *byte
+//! identically* — not merely numerically close — so any timing drift in
+//! the kernel shows up as a diff, not as a silently shifted figure. After
+//! an intentional timing change, regenerate them with
+//! `cargo run --release -p twob-bench --bin regen_golden` and review the
+//! diff.
 
 fn golden(name: &str) -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/");
@@ -15,23 +15,53 @@ fn golden(name: &str) -> String {
         .to_string()
 }
 
-#[test]
-fn fig7_json_is_byte_identical_to_pre_kernel_capture() {
-    let rows = twob_bench::fig7::run();
-    let json = serde_json::to_string(&rows).expect("serialize fig7");
-    assert_eq!(json, golden("fig7_latency"), "fig7 output drifted");
+/// Asserts byte identity with the fixture, pointing at the regeneration
+/// command (and the first divergent byte) on mismatch.
+fn assert_matches_golden(name: &str, json: &str) {
+    let expected = golden(name);
+    if json != expected {
+        let at = json
+            .bytes()
+            .zip(expected.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| json.len().min(expected.len()));
+        let lo = at.saturating_sub(40);
+        panic!(
+            "{name} output drifted from tests/golden/{name}.json \
+             (first difference at byte {at}:\n  got      ...{}\n  expected ...{}\n). \
+             If the change is intentional, run \
+             `cargo run --release -p twob-bench --bin regen_golden` and review \
+             `git diff crates/bench/tests/golden/`.",
+            &json[lo..(at + 40).min(json.len())],
+            &expected[lo..(at + 40).min(expected.len())],
+        );
+    }
 }
 
 #[test]
-fn fig9_json_is_byte_identical_to_pre_kernel_capture() {
+fn fig7_json_is_byte_identical_to_capture() {
+    let rows = twob_bench::fig7::run();
+    let json = serde_json::to_string(&rows).expect("serialize fig7");
+    assert_matches_golden("fig7_latency", &json);
+}
+
+#[test]
+fn fig9_json_is_byte_identical_to_capture() {
     let report = twob_bench::fig9::run(false);
     let json = serde_json::to_string(&report).expect("serialize fig9");
-    assert_eq!(json, golden("fig9_apps"), "fig9 output drifted");
+    assert_matches_golden("fig9_apps", &json);
 }
 
 #[test]
 fn gc_interference_json_is_byte_identical_to_capture() {
     let rows = twob_bench::gc_interference::run();
     let json = serde_json::to_string(&rows).expect("serialize gc interference");
-    assert_eq!(json, golden("gc_interference"), "gc study output drifted");
+    assert_matches_golden("gc_interference", &json);
+}
+
+#[test]
+fn tenant_sweep_json_is_byte_identical_to_capture() {
+    let rows = twob_bench::tenant_sweep::run();
+    let json = serde_json::to_string(&rows).expect("serialize tenant sweep");
+    assert_matches_golden("tenant_sweep", &json);
 }

@@ -34,6 +34,10 @@ subcommands:
            --ops N --payload BYTES
            --qd N                        MiniRocks under YCSB-A; --qd > 1
                                          keeps N ops in flight per client
+  tenants  --n N --mix pg,rocks,redis
+           --seed S --ops N              N mixed-engine tenants share one
+                                         2B-SSD; per-tenant commit latency
+                                         under BA-WAL vs block-WAL
   replay   --trace FILE --device dc|ull  replay a block trace (W/R/T/F fmt)
   crash-demo                             durability windows of the byte path
   faults sweep --cuts N --seed S         crash-consistency sweep: N random
@@ -57,6 +61,7 @@ pub fn dispatch(parsed: &Parsed) -> CliResult {
         "gc" => gc(parsed),
         "wal" => wal(parsed),
         "ycsb" => ycsb(parsed),
+        "tenants" => tenants(parsed),
         "replay" => replay(parsed),
         "crash-demo" => crash_demo(),
         "faults" => faults(parsed),
@@ -353,6 +358,58 @@ fn ycsb(parsed: &Parsed) -> CliResult {
     Ok(())
 }
 
+fn tenants(parsed: &Parsed) -> CliResult {
+    use twob_workloads::{EngineKind, TenantPool, TenantPoolConfig, WalScheme};
+
+    let n = parsed.u64_or("n", 4)?;
+    if !(1..=64).contains(&n) {
+        return Err("--n must be between 1 and 64 (the virtualized pin-table size)".into());
+    }
+    let mix = EngineKind::parse_mix(&parsed.str_or("mix", "pg,rocks,redis"))?;
+    let seed = parsed.u64_or("seed", 61)?;
+    let ops = parsed.u64_or("ops", 200)?;
+    if ops == 0 {
+        return Err("--ops must be positive".into());
+    }
+    let device = || {
+        TwoBSsd::new(
+            SsdConfig::base_2b().bench_scale(),
+            TwoBSpec {
+                ba_buffer_bytes: 1 << 20,
+                max_entries: 64,
+                ..TwoBSpec::default()
+            },
+        )
+    };
+    println!(
+        "{n} tenant(s), mix [{}], seed {seed}, {ops} ops/tenant\n",
+        mix.iter().map(|k| k.label()).collect::<Vec<_>>().join(",")
+    );
+    println!(
+        "{:<7} {:>8} {:>9} {:>10} {:>10} {:>11} {:>10}",
+        "scheme", "commits", "grp %", "p50 us", "p99 us", "worst p99", "commit/s"
+    );
+    for scheme in [WalScheme::Ba, WalScheme::Block] {
+        let cfg = TenantPoolConfig {
+            ops_per_tenant: ops,
+            ..TenantPoolConfig::standard(n as u16, mix.clone(), scheme, seed)
+        };
+        let mut pool = TenantPool::new(device(), cfg)?;
+        let report = pool.run()?;
+        println!(
+            "{:<7} {:>8} {:>9.1} {:>10.2} {:>10.2} {:>11.2} {:>10.0}",
+            report.scheme,
+            report.commits,
+            report.grouped_pct,
+            report.p50_us,
+            report.p99_us,
+            report.worst_tenant_p99_us,
+            report.commits_per_sec
+        );
+    }
+    Ok(())
+}
+
 fn replay(parsed: &Parsed) -> CliResult {
     use twob_workloads::{parse_trace, replay_trace};
     let path = parsed.str_or("trace", "");
@@ -488,6 +545,18 @@ mod tests {
             "8",
         ])
         .unwrap();
+        run(&[
+            "tenants",
+            "--n",
+            "2",
+            "--mix",
+            "redis,rocks",
+            "--seed",
+            "5",
+            "--ops",
+            "40",
+        ])
+        .unwrap();
         run(&["crash-demo"]).unwrap();
         run(&["faults", "sweep", "--cuts", "9", "--seed", "3"]).unwrap();
         run(&["help"]).unwrap();
@@ -502,6 +571,10 @@ mod tests {
         assert!(run(&["ycsb", "--ops", "10", "--qd", "0"]).is_err());
         assert!(run(&["replay"]).is_err());
         assert!(run(&["gc", "--churn", "0"]).is_err());
+        assert!(run(&["tenants", "--n", "0"]).is_err());
+        assert!(run(&["tenants", "--n", "65"]).is_err());
+        assert!(run(&["tenants", "--n", "2", "--mix", "pg,mysql"]).is_err());
+        assert!(run(&["tenants", "--n", "2", "--ops", "0"]).is_err());
         assert!(run(&["latency", "--trace", "yes"]).is_err());
         assert!(run(&["faults", "retry"]).is_err());
         assert!(run(&["faults", "sweep", "--cuts", "0"]).is_err());

@@ -80,6 +80,9 @@ pub enum IoOp {
         /// Page-aligned payload.
         data: Vec<u8>,
     },
+    /// Block-path flush: destages the device write cache (the NVMe FLUSH
+    /// a block-WAL issues to make an appended record durable).
+    BlockFlush,
 }
 
 /// The completed form of one submitted operation.
@@ -230,6 +233,7 @@ fn dispatch(
             dev.write_pages(t, lba, &data).map_err(TwoBError::from),
             None,
         ),
+        IoOp::BlockFlush => (Ok(dev.flush(t)), None),
     }
 }
 

@@ -51,6 +51,7 @@ mod device;
 mod dma;
 mod error;
 mod mapping;
+mod pin;
 mod recovery;
 mod shared;
 pub mod spec;
@@ -63,6 +64,7 @@ pub use device::{
 pub use dma::ReadDmaEngine;
 pub use error::TwoBError;
 pub use mapping::{EntryId, MappingEntry, MappingTable};
+pub use pin::{PinEntry, PinError, PinState, PinTable, TenantId};
 pub use recovery::{DumpOutcome, RecoveryManager, RecoveryReport};
 pub use shared::SharedTwoBSsd;
 pub use spec::TwoBSpec;

@@ -1,12 +1,46 @@
 //! Property-based tests of the 2B-SSD's mapping table, BA-buffer, and the
 //! dual-path consistency invariant.
 
+use std::collections::HashMap;
+
 use proptest::prelude::*;
-use twob_core::{BaBuffer, EntryId, MappingTable, TwoBSsd};
+use twob_core::{BaBuffer, EntryId, MappingTable, PinError, PinTable, TenantId, TwoBSsd};
 use twob_ftl::Lba;
 use twob_pcie::PostedWrite;
 use twob_sim::{SimDuration, SimTime};
 use twob_ssd::BlockDevice;
+
+/// One step of a multi-tenant pin-table interleaving.
+#[derive(Debug, Clone)]
+enum PinOp {
+    Pin {
+        tenant: u16,
+        lba: u64,
+        pages: u32,
+    },
+    Write {
+        tenant: u16,
+        pick: usize,
+        offset: u64,
+        data: Vec<u8>,
+    },
+    Unpin {
+        tenant: u16,
+        pick: usize,
+    },
+    PowerCycle,
+}
+
+fn pin_op_strategy() -> impl Strategy<Value = PinOp> {
+    prop_oneof![
+        4 => (0u16..2, 0u64..40, 1u32..3)
+            .prop_map(|(tenant, lba, pages)| PinOp::Pin { tenant, lba, pages }),
+        4 => (0u16..2, 0usize..8, 0u64..4096, prop::collection::vec(any::<u8>(), 1..24))
+            .prop_map(|(tenant, pick, offset, data)| PinOp::Write { tenant, pick, offset, data }),
+        2 => (0u16..2, 0usize..8).prop_map(|(tenant, pick)| PinOp::Unpin { tenant, pick }),
+        1 => Just(PinOp::PowerCycle),
+    ]
+}
 
 /// Pinned counterexample from `props.proptest-regressions`: two posted
 /// writes whose byte ranges overlap (101..127 and 126..155), both landing
@@ -193,6 +227,136 @@ proptest! {
             .read_pages(flush.complete_at + SimDuration::from_micros(1), Lba(3), 1)
             .expect("block read");
         prop_assert_eq!(read.data, expected);
+    }
+
+    /// Multi-tenant arbitration: arbitrary pin/write/unpin/power-loss
+    /// interleavings never produce overlapping pinned windows, never let a
+    /// window leave its tenant's share, keep the arbiter in byte-parity
+    /// with the device mapping table, and the power-loss dump restores
+    /// exactly the bytes each surviving window held.
+    #[test]
+    fn pin_table_arbitration_survives_churn_and_crashes(
+        ops in prop::collection::vec(pin_op_strategy(), 1..40)
+    ) {
+        let mut dev = TwoBSsd::small_for_tests();
+        let mut pins = PinTable::new(dev.spec(), 2).expect("pin table");
+        // Model of written bytes per entry: `None` = never stored through
+        // the byte path (the pin's initial NAND load, not under test).
+        let mut model: HashMap<u8, Vec<Option<u8>>> = HashMap::new();
+        let mut t = SimTime::ZERO;
+        for op in ops {
+            match op {
+                PinOp::Pin { tenant, lba, pages } => {
+                    match pins.pin(&mut dev, t, TenantId(tenant), Lba(lba), pages) {
+                        Ok((eid, done)) => {
+                            t = done.complete_at;
+                            model.insert(eid.0, vec![None; pages as usize * 4096]);
+                        }
+                        // Legitimate arbitration refusals: the share or the
+                        // entry table is full, or the device rejects an LBA
+                        // range another live pin already covers.
+                        Err(PinError::ShareExhausted(_)
+                            | PinError::NoFreeEntry
+                            | PinError::Device(_)) => {}
+                        Err(e) => {
+                            return Err(TestCaseError::fail(format!("unexpected pin error: {e}")));
+                        }
+                    }
+                }
+                PinOp::Write { tenant, pick, offset, data } => {
+                    let live = pins.entries_for(TenantId(tenant));
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (eid, entry) = live[pick % live.len()];
+                    let rel = offset % (entry.len_bytes() - data.len() as u64 + 1);
+                    let store = pins
+                        .write(&mut dev, t, TenantId(tenant), eid, rel, &data)
+                        .expect("in-window write on an owned pin");
+                    t = store.retired_at;
+                    let bytes = model.get_mut(&eid.0).expect("model has the entry");
+                    for (i, b) in data.iter().enumerate() {
+                        bytes[rel as usize + i] = Some(*b);
+                    }
+                }
+                PinOp::Unpin { tenant, pick } => {
+                    let live = pins.entries_for(TenantId(tenant));
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (eid, _) = live[pick % live.len()];
+                    let done = pins
+                        .unpin(&mut dev, t, TenantId(tenant), eid)
+                        .expect("unpin an owned pin");
+                    t = done.complete_at;
+                    model.remove(&eid.0);
+                }
+                PinOp::PowerCycle => {
+                    // Sync every live window first: unsynced stores may
+                    // still sit in the host's write-combining buffers,
+                    // which a power cut legitimately discards (the paper's
+                    // at-risk window). Synced bytes must then survive the
+                    // dump exactly.
+                    for (eid, entry) in pins.entries() {
+                        let sync = pins
+                            .sync_range(&mut dev, t, entry.tenant, eid, 0, entry.len_bytes())
+                            .map_err(|e| TestCaseError::fail(format!("sync {eid}: {e}")))?;
+                        t = sync.complete_at;
+                    }
+                    let crash = t + SimDuration::from_millis(1);
+                    let dump = dev.power_loss(crash);
+                    let report = dev.power_on(crash + SimDuration::from_millis(1));
+                    if !model.is_empty() {
+                        prop_assert!(dump.dumped, "dump skipped with live pins");
+                        prop_assert!(report.restored, "restore failed with live pins");
+                    }
+                    t = crash + SimDuration::from_millis(2);
+                    let survived = pins
+                        .reattach(&dev, t)
+                        .map_err(|e| TestCaseError::fail(format!("reattach: {e}")))?;
+                    prop_assert_eq!(survived, model.len(), "pins lost across power cycle");
+                    // The dump restored *exactly* the pinned bytes.
+                    for (raw_eid, bytes) in &model {
+                        let eid = EntryId(*raw_eid);
+                        let entry = pins
+                            .entry_info(eid)
+                            .map_err(|e| TestCaseError::fail(format!("{eid} vanished: {e}")))?;
+                        let read = pins
+                            .read(&mut dev, t, entry.tenant, eid, 0, bytes.len() as u64)
+                            .map_err(|e| TestCaseError::fail(format!("read {eid}: {e}")))?;
+                        t = read.complete_at;
+                        for (i, expected) in bytes.iter().enumerate() {
+                            if let Some(b) = expected {
+                                prop_assert_eq!(
+                                    read.data[i], *b,
+                                    "byte {} of {} diverged after restore", i, eid
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            // Invariants after *every* op: windows confined to their
+            // tenant's share, pairwise disjoint, and arbiter/device parity.
+            let live = pins.entries();
+            let share = pins.share_pages() * 4096;
+            for (i, (ea, a)) in live.iter().enumerate() {
+                let base = u64::from(a.tenant.0) * share;
+                prop_assert!(
+                    a.buffer_offset >= base && a.buffer_offset + a.len_bytes() <= base + share,
+                    "{} escaped tenant {:?}'s share", ea, a.tenant
+                );
+                for (eb, b) in &live[i + 1..] {
+                    prop_assert!(
+                        a.buffer_offset + a.len_bytes() <= b.buffer_offset
+                            || b.buffer_offset + b.len_bytes() <= a.buffer_offset,
+                        "{} and {} overlap in buffer space", ea, eb
+                    );
+                }
+            }
+            pins.verify_device_parity(&dev)
+                .map_err(|e| TestCaseError::fail(format!("parity: {e}")))?;
+        }
     }
 
     /// Synced data survives power loss at any later instant; the mapping

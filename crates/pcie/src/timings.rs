@@ -6,7 +6,7 @@ use twob_sim::SimDuration;
 /// Timing constants of the host-CPU/PCIe byte path.
 ///
 /// The defaults are calibrated against the paper's measurements (Fig 7) on
-/// a PCIe Gen3 ×4 link with x86 write-combining; DESIGN.md §6 derives them:
+/// a PCIe Gen3 ×4 link with x86 write-combining; DESIGN.md §8 derives them:
 ///
 /// - `read_8b_rtt` = 293 ns reproduces 150 µs for a 4 KiB MMIO read, a
 ///   ~350 B crossover with ULL-SSD block reads, and a ~2 KiB crossover with

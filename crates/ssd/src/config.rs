@@ -50,7 +50,7 @@ pub enum GcPolicy {
 /// The three presets ([`SsdConfig::dc_ssd`], [`SsdConfig::ull_ssd`],
 /// [`SsdConfig::base_2b`]) are calibrated so the device's externally
 /// observable 4 KiB latencies and QD1 bandwidths match the paper's Figs 7–8;
-/// see DESIGN.md §6 for the constants.
+/// see DESIGN.md §8 for the constants.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SsdConfig {
     /// Human-readable profile name, e.g. `"DC-SSD"`.

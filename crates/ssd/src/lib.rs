@@ -49,5 +49,7 @@ mod traits;
 pub use config::{ErrorInjection, GcMode, GcPolicy, SsdConfig};
 pub use device::{BlockRead, Ssd, SsdStats};
 pub use error::SsdError;
-pub use queue::{NvmeCompletion, NvmeEvent, NvmeOp, NvmeSsd, QdReport, QueueConfig, QueueFull};
+pub use queue::{
+    Namespace, NvmeCompletion, NvmeEvent, NvmeOp, NvmeSsd, QdReport, QueueConfig, QueueFull,
+};
 pub use traits::BlockDevice;

@@ -127,6 +127,36 @@ pub struct NvmeCompletion {
     pub result: Result<Option<Vec<u8>>, SsdError>,
 }
 
+/// A contiguous LBA window bound to one queue pair, giving each tenant a
+/// private block address space (NVMe namespaces, squinting).
+///
+/// Commands on a bound queue address LBAs *relative to the namespace*:
+/// firmware adds `base` after the fetch stage, and a command that reaches
+/// past `pages` fails in its CQ entry with an out-of-range error whose
+/// `capacity` is the namespace size — the tenant never learns the device's
+/// real geometry, and can never touch a neighbour's blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Namespace {
+    /// First device LBA of the window.
+    pub base: Lba,
+    /// Window length in pages.
+    pub pages: u64,
+}
+
+impl Namespace {
+    /// Translates a namespace-relative command range to device LBAs.
+    fn translate(&self, lba: Lba, pages: u64) -> Result<Lba, SsdError> {
+        if lba.0 + pages > self.pages {
+            return Err(SsdError::OutOfRange {
+                lba: lba.0,
+                pages: pages as u32,
+                capacity: self.pages,
+            });
+        }
+        Ok(Lba(self.base.0 + lba.0))
+    }
+}
+
 /// Error returned by [`NvmeSsd::submit`] when a submission queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueFull {
@@ -185,6 +215,10 @@ pub struct NvmeSsd {
     rr: usize,
     next_id: u64,
     completions: Vec<NvmeCompletion>,
+    /// Optional per-queue LBA window (tenant namespace).
+    namespaces: Vec<Option<Namespace>>,
+    /// Commands fetched per queue, for fairness audits.
+    fetches: Vec<u64>,
 }
 
 impl NvmeSsd {
@@ -196,9 +230,34 @@ impl NvmeSsd {
             rr: 0,
             next_id: 0,
             completions: Vec::new(),
+            namespaces: vec![None; cfg.pairs],
+            fetches: vec![0; cfg.pairs],
             ssd,
             cfg,
         }
+    }
+
+    /// Binds queue pair `qid` to a namespace: its commands now address
+    /// LBAs relative to `ns.base` and cannot reach past `ns.pages`.
+    /// Unbound queues keep addressing raw device LBAs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qid` is out of bounds.
+    pub fn bind_namespace(&mut self, qid: usize, ns: Namespace) {
+        self.namespaces[qid] = Some(ns);
+    }
+
+    /// The namespace bound to `qid`, if any.
+    pub fn namespace(&self, qid: usize) -> Option<Namespace> {
+        self.namespaces[qid]
+    }
+
+    /// Commands fetched per queue since construction — with every queue
+    /// backlogged, round-robin arbitration keeps these within one command
+    /// of each other.
+    pub fn fetch_counts(&self) -> &[u64] {
+        &self.fetches
     }
 
     /// The queue-pair shape.
@@ -298,6 +357,7 @@ impl NvmeSsd {
                 };
                 fetched_any = true;
                 self.inflight[qid] += 1;
+                self.fetches[qid] += 1;
                 let fw_time = match cmd.op {
                     NvmeOp::Read { .. } => self.ssd.config().fw_read,
                     NvmeOp::Write { .. } => self.ssd.config().fw_write,
@@ -323,8 +383,17 @@ impl NvmeSsd {
     fn execute(&mut self, exec: &mut Executor<NvmeEvent>, cmd: Sqe, fw_end: SimTime) {
         let page_size = self.ssd.page_size();
         let bytes = cmd.op.bytes(page_size);
+        // Firmware-side namespace translation: relative LBAs become device
+        // LBAs here, after the fetch, so a violation costs a full fetch.
+        let xlat = |ns: Option<Namespace>, lba: Lba, pages: u64| match ns {
+            Some(ns) => ns.translate(lba, pages),
+            None => Ok(lba),
+        };
+        let ns = self.namespaces[cmd.qid];
         let (completed, breakdown, result) = match cmd.op {
-            NvmeOp::Read { lba, pages } => match self.ssd.queued_read(fw_end, lba, pages) {
+            NvmeOp::Read { lba, pages } => match xlat(ns, lba, u64::from(pages))
+                .and_then(|lba| self.ssd.queued_read(fw_end, lba, pages))
+            {
                 Ok(BlockRead {
                     data,
                     complete_at,
@@ -332,10 +401,14 @@ impl NvmeSsd {
                 }) => (complete_at, breakdown, Ok(Some(data))),
                 Err(e) => (fw_end, LatencyBreakdown::ZERO, Err(e)),
             },
-            NvmeOp::Write { lba, data } => match self.ssd.queued_write(fw_end, lba, &data) {
-                Ok(ack) => (ack, self.ssd.last_breakdown(), Ok(None)),
-                Err(e) => (fw_end, LatencyBreakdown::ZERO, Err(e)),
-            },
+            NvmeOp::Write { lba, data } => {
+                match xlat(ns, lba, (data.len() / page_size) as u64)
+                    .and_then(|lba| self.ssd.queued_write(fw_end, lba, &data))
+                {
+                    Ok(ack) => (ack, self.ssd.last_breakdown(), Ok(None)),
+                    Err(e) => (fw_end, LatencyBreakdown::ZERO, Err(e)),
+                }
+            }
             NvmeOp::Flush => (self.ssd.flush(fw_end), LatencyBreakdown::ZERO, Ok(None)),
         };
         let entry = NvmeCompletion {
@@ -627,6 +700,105 @@ mod tests {
         // Data landed: read back through the synchronous API.
         let r = dev.ssd_mut().read(report.makespan, Lba(2), 1).unwrap();
         assert_eq!(r.data, vec![2u8; 4096]);
+    }
+
+    #[test]
+    fn namespaces_isolate_tenant_address_spaces() {
+        let mut dev = NvmeSsd::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            QueueConfig::new(2, 4),
+        );
+        dev.bind_namespace(
+            0,
+            Namespace {
+                base: Lba(0),
+                pages: 8,
+            },
+        );
+        dev.bind_namespace(
+            1,
+            Namespace {
+                base: Lba(8),
+                pages: 8,
+            },
+        );
+        // Both tenants write "their" LBA 0; the device must keep them apart.
+        let report = dev.run_closed_loop(SimTime::ZERO, 2, |i| {
+            (
+                i as usize,
+                NvmeOp::Write {
+                    lba: Lba(0),
+                    data: vec![0x10 + i as u8; 4096],
+                },
+            )
+        });
+        assert_eq!(report.errors, 0);
+        let a = dev.ssd_mut().read(report.makespan, Lba(0), 1).unwrap();
+        let b = dev.ssd_mut().read(report.makespan, Lba(8), 1).unwrap();
+        assert_eq!(a.data, vec![0x10u8; 4096]);
+        assert_eq!(b.data, vec![0x11u8; 4096]);
+    }
+
+    #[test]
+    fn namespace_bounds_surface_as_cq_errors() {
+        let mut dev = NvmeSsd::new(
+            Ssd::new(SsdConfig::ull_ssd().small()),
+            QueueConfig::new(1, 4),
+        );
+        dev.bind_namespace(
+            0,
+            Namespace {
+                base: Lba(0),
+                pages: 4,
+            },
+        );
+        let mut exec = Executor::new();
+        dev.submit(
+            &mut exec,
+            SimTime::ZERO,
+            0,
+            NvmeOp::Read {
+                lba: Lba(4),
+                pages: 1,
+            },
+        )
+        .unwrap();
+        exec.run(|ex, t, ev| dev.handle(ex, t, ev));
+        let done = dev.drain_completions();
+        assert!(matches!(
+            done[0].result,
+            Err(SsdError::OutOfRange {
+                lba: 4,
+                pages: 1,
+                capacity: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn arbitration_is_fair_across_backlogged_tenants() {
+        let mut dev = preloaded(16, QueueConfig::new(4, 4));
+        let mut exec = Executor::new();
+        let start = SimTime::from_nanos(100_000_000);
+        // Four tenants, each with an equal backlog of identical reads.
+        for i in 0..4u64 {
+            for qid in 0..4usize {
+                dev.submit(
+                    &mut exec,
+                    start,
+                    qid,
+                    NvmeOp::Read {
+                        lba: Lba(4 * qid as u64 + i),
+                        pages: 1,
+                    },
+                )
+                .unwrap();
+            }
+        }
+        exec.run(|ex, t, ev| dev.handle(ex, t, ev));
+        assert_eq!(dev.drain_completions().len(), 16);
+        let fetches = dev.fetch_counts().to_vec();
+        assert_eq!(fetches, vec![4, 4, 4, 4], "round-robin lost fairness");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use twob_core::TwoBError;
+use twob_core::{PinError, TwoBError};
 use twob_ssd::SsdError;
 
 /// Errors raised by the WAL writers.
@@ -23,6 +23,8 @@ pub enum WalError {
     Device(SsdError),
     /// The 2B-SSD byte path failed.
     TwoB(TwoBError),
+    /// The pin-table arbiter refused the operation.
+    Pin(PinError),
 }
 
 impl fmt::Display for WalError {
@@ -34,6 +36,7 @@ impl fmt::Display for WalError {
             WalError::BadConfig(msg) => write!(f, "invalid wal config: {msg}"),
             WalError::Device(e) => write!(f, "log device: {e}"),
             WalError::TwoB(e) => write!(f, "2b-ssd: {e}"),
+            WalError::Pin(e) => write!(f, "pin table: {e}"),
         }
     }
 }
@@ -43,6 +46,7 @@ impl Error for WalError {
         match self {
             WalError::Device(e) => Some(e),
             WalError::TwoB(e) => Some(e),
+            WalError::Pin(e) => Some(e),
             _ => None,
         }
     }
@@ -57,6 +61,12 @@ impl From<SsdError> for WalError {
 impl From<TwoBError> for WalError {
     fn from(e: TwoBError) -> Self {
         WalError::TwoB(e)
+    }
+}
+
+impl From<PinError> for WalError {
+    fn from(e: PinError) -> Self {
+        WalError::Pin(e)
     }
 }
 

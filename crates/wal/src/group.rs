@@ -117,6 +117,13 @@ impl<W: WalWriter> GroupCommit<W> {
         self.pending.len()
     }
 
+    /// Earliest armed batch deadline, if any committer is waiting — what an
+    /// external event loop (e.g. a multi-tenant pool) must not step past
+    /// without calling [`GroupCommit::drive`].
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.deadlines.peek_time()
+    }
+
     /// Registers a commit of `payload` at `now`, returning its ticket. The
     /// first submission of a batch arms a flush deadline `window` later;
     /// the batch is issued when [`GroupCommit::drive`] passes that deadline

@@ -54,6 +54,7 @@ mod pm;
 mod record;
 mod replay;
 mod stats;
+mod tenant;
 mod traits;
 
 pub use ba::BaWal;
@@ -65,4 +66,5 @@ pub use pm::PmWal;
 pub use record::{LogRecord, Lsn};
 pub use replay::{decode_stream, replay, ReplayOutcome};
 pub use stats::WalStats;
+pub use tenant::{SharedCalendar, SharedDevice, SharedPins, TenantBaWal, TenantBlockWal};
 pub use traits::{CommitOutcome, WalWriter};

@@ -21,6 +21,9 @@
 //!   `qd` operations outstanding on the `twob-sim` event calendar, issuing
 //!   the next the instant a slot frees, which is what drives devices above
 //!   QD1.
+//! - [`TenantPool`] — the multi-tenant generalization of the paper's §V
+//!   co-location: N engines (a pg/rocks/redis mix), each with its own
+//!   group committer and log window, contending on one shared 2B-SSD.
 //!
 //! # Example
 //!
@@ -46,11 +49,15 @@ mod churn;
 mod executor;
 pub mod fio;
 mod linkbench;
+mod tenant;
 pub mod trace;
 mod ycsb;
 
 pub use churn::{ChurnConfig, ChurnWorkload};
 pub use executor::{ClientPool, ClosedLoopPool, ClosedLoopReport};
 pub use linkbench::{LinkbenchConfig, LinkbenchWorkload};
+pub use tenant::{
+    EngineKind, TenantOutcome, TenantPool, TenantPoolConfig, TenantReport, WalScheme,
+};
 pub use trace::{parse_trace, replay_trace, TraceOp, TraceParseError, TraceReplayReport};
 pub use ycsb::{YcsbConfig, YcsbOp, YcsbWorkload};

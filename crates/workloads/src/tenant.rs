@@ -1,0 +1,741 @@
+//! Multi-tenant pool: N independent database engines sharing one 2B-SSD.
+//!
+//! The paper's §V runs PostgreSQL, RocksDB, and Redis *concurrently* on a
+//! single prototype, each logging into its own slice of the BA region. This
+//! module generalizes that setup to N tenants for the tenant sweep:
+//!
+//! - each tenant gets its own engine instance ([`MiniPg`] under the
+//!   Linkbench mix, [`MiniRocks`] or [`MiniRedis`] under YCSB-A), chosen
+//!   round-robin from a mix list;
+//! - each tenant commits through its own [`GroupCommit`] over a per-tenant
+//!   WAL — [`TenantBaWal`] windows arbitrated by the shared [`PinTable`],
+//!   or [`TenantBlockWal`] regions on the same device's block path;
+//! - all tenants' durability traffic funnels through one [`IoCalendar`]
+//!   onto one [`TwoBSsd`], so cross-tenant interference (channel and
+//!   datapath contention, shared write cache, background GC) is what the
+//!   sweep measures.
+//!
+//! Engines log through a recording sink; the pool forwards each produced
+//! record to the tenant's group committer, and a committing client blocks
+//! until its batch's durability point. The event loop always dispatches
+//! the earliest event (farthest-behind ready client or armed batch
+//! deadline, ties broken by tenant then client index), so a run is a pure
+//! function of its configuration.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+use twob_core::{IoCalendar, PinTable, TenantId, TwoBSsd};
+use twob_db::{DbError, EngineCosts, MiniPg, MiniRedis, MiniRocks};
+use twob_sim::{SimDuration, SimRng, SimTime};
+use twob_wal::{
+    CommitOutcome, GroupCommit, Lsn, TenantBaWal, TenantBlockWal, WalConfig, WalError, WalStats,
+    WalWriter,
+};
+
+use crate::{LinkbenchConfig, LinkbenchWorkload, YcsbConfig, YcsbOp, YcsbWorkload};
+
+/// Which mini engine a tenant runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// [`MiniPg`] driven by the Linkbench-like transaction mix.
+    Pg,
+    /// [`MiniRocks`] driven by YCSB-A.
+    Rocks,
+    /// [`MiniRedis`] driven by YCSB-A.
+    Redis,
+}
+
+impl EngineKind {
+    /// Display label (also the token accepted by [`EngineKind::parse_mix`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Pg => "pg",
+            EngineKind::Rocks => "rocks",
+            EngineKind::Redis => "redis",
+        }
+    }
+
+    /// Parses a comma-separated mix such as `"pg,rocks,redis"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token if it names no engine, or an error for
+    /// an empty mix.
+    pub fn parse_mix(mix: &str) -> Result<Vec<EngineKind>, String> {
+        let kinds: Result<Vec<EngineKind>, String> = mix
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| match t {
+                "pg" => Ok(EngineKind::Pg),
+                "rocks" => Ok(EngineKind::Rocks),
+                "redis" => Ok(EngineKind::Redis),
+                other => Err(format!("unknown engine '{other}' (pg|rocks|redis)")),
+            })
+            .collect();
+        let kinds = kinds?;
+        if kinds.is_empty() {
+            return Err("empty engine mix".into());
+        }
+        Ok(kinds)
+    }
+}
+
+/// Which logging scheme every tenant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalScheme {
+    /// BA-WAL: pinned byte-path windows arbitrated by the [`PinTable`].
+    Ba,
+    /// Conventional block WAL with a flush per batch, on the same device.
+    Block,
+}
+
+impl WalScheme {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WalScheme::Ba => "ba",
+            WalScheme::Block => "block",
+        }
+    }
+}
+
+/// Configuration of a [`TenantPool`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantPoolConfig {
+    /// Number of tenants sharing the device.
+    pub tenants: u16,
+    /// Engine mix; tenant `i` runs `mix[i % mix.len()]`.
+    pub mix: Vec<EngineKind>,
+    /// Logging scheme for every tenant.
+    pub scheme: WalScheme,
+    /// Simulated clients per tenant (Redis tenants are single-threaded and
+    /// always run one).
+    pub clients_per_tenant: usize,
+    /// Measured commits... operations dispatched per tenant.
+    pub ops_per_tenant: u64,
+    /// Base RNG seed; tenant `i` derives its own stream from it.
+    pub seed: u64,
+    /// Group-commit window.
+    pub group_window: SimDuration,
+    /// Group-commit batch cap.
+    pub max_batch: usize,
+    /// Log-region pages per tenant (regions are laid out contiguously from
+    /// LBA 0: tenant `i` owns `[i * region_pages, (i+1) * region_pages)`).
+    pub region_pages: u32,
+    /// YCSB payload bytes for the key-value tenants.
+    pub payload_bytes: usize,
+    /// Working-set size (Linkbench nodes / YCSB records) per tenant.
+    pub keys: u64,
+}
+
+impl TenantPoolConfig {
+    /// The tenant-sweep preset: 4 clients per tenant, 10 µs group window,
+    /// 16-record batches, 16-page log regions, 128 B YCSB payloads over a
+    /// 200-key working set.
+    pub fn standard(tenants: u16, mix: Vec<EngineKind>, scheme: WalScheme, seed: u64) -> Self {
+        TenantPoolConfig {
+            tenants,
+            mix,
+            scheme,
+            clients_per_tenant: 4,
+            ops_per_tenant: 400,
+            seed,
+            group_window: SimDuration::from_micros(10),
+            max_batch: 16,
+            region_pages: 16,
+            payload_bytes: 128,
+            keys: 200,
+        }
+    }
+}
+
+/// Per-tenant results of a pool run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantOutcome {
+    /// Tenant index.
+    pub tenant: u16,
+    /// Engine this tenant ran.
+    pub engine: EngineKind,
+    /// Commits that reached a durability point.
+    pub commits: u64,
+    /// Median commit latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile commit latency, µs.
+    pub p99_us: f64,
+}
+
+/// Aggregate results of a pool run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant count.
+    pub tenants: u16,
+    /// Scheme label (`"ba"` or `"block"`).
+    pub scheme: String,
+    /// Total commits across tenants.
+    pub commits: u64,
+    /// Group-commit batches issued across tenants.
+    pub batches: u64,
+    /// Percentage of commits that shared a batch.
+    pub grouped_pct: f64,
+    /// Median commit latency across all tenants' commits, µs.
+    pub p50_us: f64,
+    /// 99th-percentile commit latency across all tenants' commits, µs.
+    pub p99_us: f64,
+    /// Worst single tenant's p99, µs.
+    pub worst_tenant_p99_us: f64,
+    /// Aggregate commit throughput over the measured span.
+    pub commits_per_sec: f64,
+    /// Per-tenant breakdown.
+    pub per_tenant: Vec<TenantOutcome>,
+}
+
+/// A [`WalWriter`] that records payloads instead of logging them: the
+/// engine's in-process log sink. The pool drains what the engine produced
+/// after each operation and forwards it to the tenant's group committer,
+/// which owns the real (shared-device) WAL.
+#[derive(Debug, Clone)]
+struct RecordingWal {
+    sink: Rc<RefCell<Vec<Vec<u8>>>>,
+    next_lsn: u64,
+}
+
+impl WalWriter for RecordingWal {
+    fn append_commit(&mut self, now: SimTime, payload: &[u8]) -> Result<CommitOutcome, WalError> {
+        self.sink.borrow_mut().push(payload.to_vec());
+        let lsn = Lsn(self.next_lsn);
+        self.next_lsn += 1;
+        Ok(CommitOutcome {
+            lsn,
+            commit_at: now,
+            durable_at: None,
+        })
+    }
+
+    fn scheme(&self) -> String {
+        "RECORDER".into()
+    }
+
+    fn stats(&self) -> WalStats {
+        WalStats::default()
+    }
+}
+
+/// The real per-tenant log behind the group committer.
+enum TenantWal {
+    Ba(TenantBaWal),
+    Block(TenantBlockWal),
+}
+
+impl WalWriter for TenantWal {
+    fn append_commit(&mut self, now: SimTime, payload: &[u8]) -> Result<CommitOutcome, WalError> {
+        match self {
+            TenantWal::Ba(w) => w.append_commit(now, payload),
+            TenantWal::Block(w) => w.append_commit(now, payload),
+        }
+    }
+
+    fn append_batch(
+        &mut self,
+        now: SimTime,
+        payloads: &[Vec<u8>],
+    ) -> Result<CommitOutcome, WalError> {
+        match self {
+            TenantWal::Ba(w) => w.append_batch(now, payloads),
+            TenantWal::Block(w) => w.append_batch(now, payloads),
+        }
+    }
+
+    fn scheme(&self) -> String {
+        match self {
+            TenantWal::Ba(w) => w.scheme(),
+            TenantWal::Block(w) => w.scheme(),
+        }
+    }
+
+    fn stats(&self) -> WalStats {
+        match self {
+            TenantWal::Ba(w) => w.stats(),
+            TenantWal::Block(w) => w.stats(),
+        }
+    }
+}
+
+/// One tenant's engine plus its workload generator.
+enum EngineRt {
+    Pg(Box<MiniPg>, LinkbenchWorkload),
+    Rocks(Box<MiniRocks>, YcsbWorkload),
+    Redis(Box<MiniRedis>, YcsbWorkload),
+}
+
+impl EngineRt {
+    /// Runs the tenant's load phase, returning its end time. Load-phase
+    /// records populate in-memory state only (drained and dropped by the
+    /// caller); the measured phase is what reaches the log.
+    fn load(&mut self, rng: &mut SimRng) -> Result<SimTime, DbError> {
+        let mut t = SimTime::ZERO;
+        match self {
+            EngineRt::Pg(db, wl) => {
+                for txn in wl.load_phase(rng, 2) {
+                    t = db.run_txn(t, &txn)?.commit_at;
+                }
+            }
+            EngineRt::Rocks(db, wl) => {
+                for (key, value) in wl.load_phase(rng) {
+                    t = db.put(t, key, value)?.commit_at;
+                }
+            }
+            EngineRt::Redis(db, wl) => {
+                for (key, value) in wl.load_phase(rng) {
+                    t = db.set(t, key, value)?.commit_at;
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Dispatches one workload operation at `at`, returning when the
+    /// engine-side work (CPU + in-memory apply) is done. Log records it
+    /// produced are waiting in the recorder.
+    fn step(&mut self, at: SimTime, rng: &mut SimRng) -> Result<SimTime, DbError> {
+        match self {
+            EngineRt::Pg(db, wl) => {
+                let txn = wl.next_txn(rng);
+                Ok(db.run_txn(at, &txn)?.commit_at)
+            }
+            EngineRt::Rocks(db, wl) => Ok(match wl.next_op(rng) {
+                YcsbOp::Read { key } => db.get(at, &key).0,
+                YcsbOp::Update { key, value } => db.put(at, key, value)?.commit_at,
+            }),
+            EngineRt::Redis(db, wl) => Ok(match wl.next_op(rng) {
+                YcsbOp::Read { key } => db.get(at, &key).0,
+                YcsbOp::Update { key, value } => db.set(at, key, value)?.commit_at,
+            }),
+        }
+    }
+}
+
+struct Tenant {
+    engine_kind: EngineKind,
+    engine: EngineRt,
+    recorder: Rc<RefCell<Vec<Vec<u8>>>>,
+    group: GroupCommit<TenantWal>,
+    rng: SimRng,
+    /// Per-client clocks; `None` while the client waits on a commit.
+    clients: Vec<Option<SimTime>>,
+    /// Ticket → client index, for the ticket each blocked client waits on.
+    waiting: HashMap<u64, usize>,
+    remaining: u64,
+    latencies_ns: Vec<u64>,
+    end: SimTime,
+}
+
+/// N engines over one shared device. See the module docs.
+pub struct TenantPool {
+    dev: Rc<RefCell<TwoBSsd>>,
+    tenants: Vec<Tenant>,
+    cfg: TenantPoolConfig,
+}
+
+impl TenantPool {
+    /// Builds the pool on `dev`: constructs the shared calendar (and, for
+    /// the BA scheme, the [`PinTable`] with equal tenant shares), then one
+    /// engine + WAL + group committer per tenant.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors (zero tenants, regions that do not fit the
+    /// device, shares too small for a window) surface as [`DbError::Wal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero (propagated from [`GroupCommit`]).
+    pub fn new(dev: TwoBSsd, cfg: TenantPoolConfig) -> Result<Self, DbError> {
+        if cfg.tenants == 0 || cfg.mix.is_empty() || cfg.clients_per_tenant == 0 {
+            return Err(DbError::Wal(WalError::BadConfig(
+                "need at least one tenant, engine, and client".into(),
+            )));
+        }
+        let pins = if cfg.scheme == WalScheme::Ba {
+            Some(Rc::new(RefCell::new(
+                PinTable::new(dev.spec(), cfg.tenants).map_err(WalError::from)?,
+            )))
+        } else {
+            None
+        };
+        let dev = Rc::new(RefCell::new(dev));
+        let cal = Rc::new(RefCell::new(IoCalendar::new()));
+        let mut tenants = Vec::with_capacity(usize::from(cfg.tenants));
+        for i in 0..cfg.tenants {
+            let wal_cfg = WalConfig {
+                region_base_lba: u64::from(i) * u64::from(cfg.region_pages),
+                region_pages: cfg.region_pages,
+                ..WalConfig::default()
+            };
+            let wal = match &pins {
+                Some(pins) => {
+                    // Largest power-of-two window ≤ min(share, 4 pages), so
+                    // it always divides a power-of-two region.
+                    let share = pins.borrow().share_pages().min(4);
+                    let window = if share >= 4 {
+                        4
+                    } else if share >= 2 {
+                        2
+                    } else {
+                        1
+                    };
+                    TenantWal::Ba(TenantBaWal::new(
+                        dev.clone(),
+                        cal.clone(),
+                        pins.clone(),
+                        TenantId(i),
+                        wal_cfg,
+                        window,
+                    )?)
+                }
+                None => TenantWal::Block(TenantBlockWal::new(
+                    dev.clone(),
+                    cal.clone(),
+                    TenantId(i),
+                    wal_cfg,
+                )?),
+            };
+            let engine_kind = cfg.mix[usize::from(i) % cfg.mix.len()];
+            let recorder = Rc::new(RefCell::new(Vec::new()));
+            let sink = Box::new(RecordingWal {
+                sink: recorder.clone(),
+                next_lsn: 0,
+            });
+            let engine = match engine_kind {
+                EngineKind::Pg => EngineRt::Pg(
+                    Box::new(MiniPg::new(sink, EngineCosts::postgres())),
+                    LinkbenchWorkload::new(LinkbenchConfig::standard(cfg.keys)),
+                ),
+                EngineKind::Rocks => EngineRt::Rocks(
+                    Box::new(MiniRocks::new(sink, EngineCosts::rocksdb())),
+                    YcsbWorkload::new(YcsbConfig::workload_a(cfg.keys, cfg.payload_bytes)),
+                ),
+                EngineKind::Redis => EngineRt::Redis(
+                    Box::new(MiniRedis::new(sink, EngineCosts::redis())),
+                    YcsbWorkload::new(YcsbConfig::workload_a(cfg.keys, cfg.payload_bytes)),
+                ),
+            };
+            let clients = if matches!(engine_kind, EngineKind::Redis) {
+                1 // Redis is single-threaded.
+            } else {
+                cfg.clients_per_tenant
+            };
+            tenants.push(Tenant {
+                engine_kind,
+                engine,
+                recorder,
+                group: GroupCommit::new(wal, cfg.group_window, cfg.max_batch),
+                rng: SimRng::seed_from(cfg.seed.wrapping_add(u64::from(i) * 0x9E37_79B9)),
+                clients: vec![Some(SimTime::ZERO); clients],
+                waiting: HashMap::new(),
+                remaining: cfg.ops_per_tenant,
+                latencies_ns: Vec::new(),
+                end: SimTime::ZERO,
+            });
+        }
+        Ok(TenantPool { dev, tenants, cfg })
+    }
+
+    /// The shared device (e.g. to inspect stats after a run).
+    pub fn device(&self) -> Rc<RefCell<TwoBSsd>> {
+        self.dev.clone()
+    }
+
+    /// Runs every tenant to completion and reports commit latencies.
+    ///
+    /// # Errors
+    ///
+    /// Engine or WAL failures.
+    pub fn run(&mut self) -> Result<TenantReport, DbError> {
+        // Load phase: populate each engine's in-memory state. These records
+        // never reach the shared log (the measured phase starts cold at the
+        // latest load end so tenants begin together).
+        let mut start = SimTime::ZERO;
+        for tenant in &mut self.tenants {
+            let end = tenant.engine.load(&mut tenant.rng)?;
+            tenant.recorder.borrow_mut().clear();
+            start = start.max(end);
+        }
+        for tenant in &mut self.tenants {
+            for c in &mut tenant.clients {
+                *c = Some(start);
+            }
+        }
+
+        // Event loop: always advance the earliest event — a ready client's
+        // next operation or an armed group-commit deadline.
+        loop {
+            let mut next_client: Option<(usize, usize, SimTime)> = None;
+            let mut next_deadline: Option<(usize, SimTime)> = None;
+            for (ti, tenant) in self.tenants.iter().enumerate() {
+                if tenant.remaining > 0 {
+                    for (ci, clock) in tenant.clients.iter().enumerate() {
+                        if let Some(at) = clock {
+                            if next_client.is_none_or(|(_, _, t)| *at < t) {
+                                next_client = Some((ti, ci, *at));
+                            }
+                        }
+                    }
+                }
+                if let Some(d) = tenant.group.next_deadline() {
+                    if next_deadline.is_none_or(|(_, t)| d < t) {
+                        next_deadline = Some((ti, d));
+                    }
+                }
+            }
+            match (next_client, next_deadline) {
+                (Some((ti, ci, at)), deadline) => {
+                    if let Some((di, d)) = deadline {
+                        if d <= at {
+                            Self::drive_tenant(&mut self.tenants[di], d)?;
+                            continue;
+                        }
+                    }
+                    self.dispatch(ti, ci, at)?;
+                }
+                (None, Some((di, d))) => {
+                    Self::drive_tenant(&mut self.tenants[di], d)?;
+                }
+                (None, None) => break,
+            }
+        }
+        // Tail flush: batches armed after the last ops, and any committer
+        // stranded by an empty deadline queue.
+        let tail = self.tenants.iter().map(|t| t.end).max().unwrap_or(start);
+        for tenant in &mut self.tenants {
+            Self::flush_tenant(tenant, tail)?;
+        }
+
+        Ok(self.report(start))
+    }
+
+    /// Runs one client operation and forwards produced log records to the
+    /// tenant's group committer.
+    fn dispatch(&mut self, ti: usize, ci: usize, at: SimTime) -> Result<(), DbError> {
+        let tenant = &mut self.tenants[ti];
+        tenant.remaining -= 1;
+        let done = tenant.engine.step(at, &mut tenant.rng)?;
+        tenant.end = tenant.end.max(done);
+        let records: Vec<Vec<u8>> = tenant.recorder.borrow_mut().drain(..).collect();
+        if records.is_empty() {
+            // Read-only operation: the client moves on immediately.
+            tenant.clients[ci] = Some(done);
+            return Ok(());
+        }
+        let mut last_ticket = 0;
+        for payload in &records {
+            last_ticket = tenant.group.submit(done, payload);
+        }
+        // The committing client blocks until its batch is durable.
+        tenant.clients[ci] = None;
+        tenant.waiting.insert(last_ticket, ci);
+        if tenant.group.pending_len() >= self.cfg.max_batch {
+            Self::drive_tenant(tenant, done)?;
+        }
+        Ok(())
+    }
+
+    /// Advances one tenant's group committer to `now`, recording latencies
+    /// and unblocking clients whose commits completed.
+    fn drive_tenant(tenant: &mut Tenant, now: SimTime) -> Result<(), DbError> {
+        let waiting = &mut tenant.waiting;
+        let clients = &mut tenant.clients;
+        let latencies = &mut tenant.latencies_ns;
+        let mut end = tenant.end;
+        tenant.group.drive(now, |out| {
+            latencies.push(out.commit_at.saturating_since(out.submitted).as_nanos());
+            end = end.max(out.commit_at);
+            if let Some(ci) = waiting.remove(&out.ticket) {
+                clients[ci] = Some(out.commit_at);
+            }
+        })?;
+        tenant.end = end;
+        Ok(())
+    }
+
+    /// Forces out everything a tenant still has pending (end of run).
+    fn flush_tenant(tenant: &mut Tenant, now: SimTime) -> Result<(), DbError> {
+        let waiting = &mut tenant.waiting;
+        let clients = &mut tenant.clients;
+        let latencies = &mut tenant.latencies_ns;
+        let mut end = tenant.end;
+        tenant.group.flush_now(now, |out| {
+            latencies.push(out.commit_at.saturating_since(out.submitted).as_nanos());
+            end = end.max(out.commit_at);
+            if let Some(ci) = waiting.remove(&out.ticket) {
+                clients[ci] = Some(out.commit_at);
+            }
+        })?;
+        tenant.end = end;
+        Ok(())
+    }
+
+    fn report(&self, start: SimTime) -> TenantReport {
+        let mut all: Vec<u64> = Vec::new();
+        let mut per_tenant = Vec::with_capacity(self.tenants.len());
+        let mut commits = 0u64;
+        let mut batches = 0u64;
+        let mut grouped = 0u64;
+        let mut worst = 0.0f64;
+        let mut end = start;
+        for (i, tenant) in self.tenants.iter().enumerate() {
+            let mut lat = tenant.latencies_ns.clone();
+            lat.sort_unstable();
+            let p99 = percentile_us(&lat, 0.99);
+            worst = worst.max(p99);
+            per_tenant.push(TenantOutcome {
+                tenant: i as u16,
+                engine: tenant.engine_kind,
+                commits: lat.len() as u64,
+                p50_us: percentile_us(&lat, 0.50),
+                p99_us: p99,
+            });
+            commits += lat.len() as u64;
+            batches += tenant.group.batches();
+            grouped += tenant.group.grouped_commits();
+            all.extend_from_slice(&lat);
+            end = end.max(tenant.end);
+        }
+        all.sort_unstable();
+        let span = end.saturating_since(start).as_secs_f64();
+        TenantReport {
+            tenants: self.cfg.tenants,
+            scheme: self.cfg.scheme.label().to_string(),
+            commits,
+            batches,
+            grouped_pct: if commits == 0 {
+                0.0
+            } else {
+                100.0 * grouped as f64 / commits as f64
+            },
+            p50_us: percentile_us(&all, 0.50),
+            p99_us: percentile_us(&all, 0.99),
+            worst_tenant_p99_us: worst,
+            commits_per_sec: if span > 0.0 {
+                commits as f64 / span
+            } else {
+                0.0
+            },
+            per_tenant,
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sorted nanosecond series, in µs.
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twob_core::TwoBSpec;
+    use twob_ssd::SsdConfig;
+
+    fn device(tenants: u16) -> TwoBSsd {
+        let spec = TwoBSpec {
+            ba_buffer_bytes: 256 << 10, // 64 pages
+            max_entries: usize::from(tenants).max(8),
+            ..TwoBSpec::default()
+        };
+        TwoBSsd::new(SsdConfig::base_2b().bench_scale(), spec)
+    }
+
+    fn quick_cfg(tenants: u16, scheme: WalScheme) -> TenantPoolConfig {
+        TenantPoolConfig {
+            ops_per_tenant: 60,
+            keys: 50,
+            ..TenantPoolConfig::standard(
+                tenants,
+                vec![EngineKind::Pg, EngineKind::Rocks, EngineKind::Redis],
+                scheme,
+                7,
+            )
+        }
+    }
+
+    #[test]
+    fn mixed_tenants_share_one_device() {
+        let mut pool = TenantPool::new(device(4), quick_cfg(4, WalScheme::Ba)).unwrap();
+        let report = pool.run().unwrap();
+        assert_eq!(report.tenants, 4);
+        assert_eq!(report.per_tenant.len(), 4);
+        // The mix assigns engines round-robin.
+        assert_eq!(report.per_tenant[0].engine, EngineKind::Pg);
+        assert_eq!(report.per_tenant[1].engine, EngineKind::Rocks);
+        assert_eq!(report.per_tenant[2].engine, EngineKind::Redis);
+        assert_eq!(report.per_tenant[3].engine, EngineKind::Pg);
+        // Every tenant committed, and latencies are sane.
+        for t in &report.per_tenant {
+            assert!(t.commits > 0, "{t:?}");
+            assert!(t.p99_us >= t.p50_us, "{t:?}");
+            assert!(t.p50_us > 0.0, "{t:?}");
+        }
+        // All four tenants' windows live on the device at once.
+        assert_eq!(pool.device().borrow().entries().len(), 4);
+    }
+
+    #[test]
+    fn pool_runs_are_deterministic() {
+        let run = || {
+            TenantPool::new(device(4), quick_cfg(4, WalScheme::Ba))
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ba_scheme_commits_faster_than_block_on_the_same_chassis() {
+        let ba = TenantPool::new(device(4), quick_cfg(4, WalScheme::Ba))
+            .unwrap()
+            .run()
+            .unwrap();
+        let block = TenantPool::new(device(4), quick_cfg(4, WalScheme::Block))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            ba.p99_us < block.p99_us,
+            "ba p99 {} should beat block p99 {}",
+            ba.p99_us,
+            block.p99_us
+        );
+    }
+
+    #[test]
+    fn mix_parsing_round_trips_and_rejects_junk() {
+        assert_eq!(
+            EngineKind::parse_mix("pg,rocks,redis").unwrap(),
+            vec![EngineKind::Pg, EngineKind::Rocks, EngineKind::Redis]
+        );
+        assert_eq!(
+            EngineKind::parse_mix(" redis , pg ").unwrap(),
+            vec![EngineKind::Redis, EngineKind::Pg]
+        );
+        assert!(EngineKind::parse_mix("pg,mysql").is_err());
+        assert!(EngineKind::parse_mix("").is_err());
+    }
+
+    #[test]
+    fn bad_configs_error_cleanly() {
+        let cfg = TenantPoolConfig {
+            tenants: 0,
+            ..quick_cfg(1, WalScheme::Ba)
+        };
+        assert!(TenantPool::new(device(1), cfg).is_err());
+    }
+}
