@@ -1,0 +1,40 @@
+//! Replication sweep: client-visible commit latency of a three-node
+//! replica set across commit policies, RTTs, and ship schemes.
+
+fn main() {
+    let rows = twob_bench::repl_sweep::run();
+    println!(
+        "Replication sweep: 3-node set, MiniRocks commit stream \
+         (seed {}, {} commits per cell)\n",
+        twob_bench::repl_sweep::SEED,
+        twob_bench::repl_sweep::COMMITS,
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.rtt_us.to_string(),
+                r.scheme.clone(),
+                r.released.to_string(),
+                format!("{:.2}", r.p50_us),
+                format!("{:.2}", r.p99_us),
+                format!("{:.2}", r.mean_us),
+                format!("{:.0}", r.commits_per_sec),
+                r.ship_batches.to_string(),
+                r.ship_records.to_string(),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &[
+            "policy", "rtt us", "ship", "released", "p50 us", "p99 us", "mean us", "commit/s",
+            "batches", "records",
+        ],
+        &table,
+    );
+    println!(
+        "\njson: {}",
+        serde_json::to_string(&rows).expect("serialize repl sweep")
+    );
+}

@@ -18,6 +18,7 @@
 //! | QD extension of Fig 8 | [`mod@qd_sweep`] | `qd_sweep` |
 //! | GC interference study | [`mod@gc_interference`] | `gc_interference` |
 //! | Multi-tenant sweep of §V co-location | [`mod@tenant_sweep`] | `tenant_sweep` |
+//! | Replication sweep (beyond the paper) | [`mod@repl_sweep`] | `repl_sweep` |
 //!
 //! The `regen_golden` binary re-captures every fixture under
 //! `tests/golden/` from the current simulator.
@@ -33,6 +34,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod gc_interference;
 pub mod qd_sweep;
+pub mod repl_sweep;
 pub mod table1;
 pub mod tenant_sweep;
 

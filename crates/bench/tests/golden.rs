@@ -65,3 +65,10 @@ fn tenant_sweep_json_is_byte_identical_to_capture() {
     let json = serde_json::to_string(&rows).expect("serialize tenant sweep");
     assert_matches_golden("tenant_sweep", &json);
 }
+
+#[test]
+fn repl_sweep_json_is_byte_identical_to_capture() {
+    let rows = twob_bench::repl_sweep::run();
+    let json = serde_json::to_string(&rows).expect("serialize repl sweep");
+    assert_matches_golden("repl_sweep", &json);
+}

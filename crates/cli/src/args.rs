@@ -20,8 +20,6 @@ pub struct Parsed {
 pub enum ArgError {
     /// No subcommand given.
     MissingCommand,
-    /// A `--flag` without a value.
-    MissingValue(String),
     /// A positional argument where a flag was expected.
     UnexpectedPositional(String),
     /// A flag value failed to parse.
@@ -39,7 +37,6 @@ impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgError::MissingCommand => write!(f, "no subcommand given (try `twob help`)"),
-            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
             ArgError::UnexpectedPositional(arg) => {
                 write!(f, "unexpected argument {arg:?} (flags are --key value)")
             }
@@ -56,11 +53,14 @@ impl std::error::Error for ArgError {}
 
 /// Parses `args` (without the program name) into a [`Parsed`].
 ///
+/// A flag followed by another flag (or by nothing) is a boolean switch
+/// and gets the value `"true"` — e.g. `twob gc --json`.
+///
 /// # Errors
 ///
 /// See [`ArgError`].
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError> {
-    let mut iter = args.into_iter();
+    let mut iter = args.into_iter().peekable();
     let command = iter.next().ok_or(ArgError::MissingCommand)?;
     let mut positionals = Vec::new();
     let mut flags = HashMap::new();
@@ -74,9 +74,10 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError
             continue;
         };
         seen_flag = true;
-        let value = iter
-            .next()
-            .ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+        let value = match iter.peek() {
+            Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+            _ => "true".to_string(),
+        };
         flags.insert(key.to_string(), value);
     }
     Ok(Parsed {
@@ -110,6 +111,11 @@ impl Parsed {
             }),
         }
     }
+
+    /// Whether a boolean switch such as `--json` was given.
+    pub fn is_set(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
 }
 
 #[cfg(test)]
@@ -139,12 +145,19 @@ mod tests {
     }
 
     #[test]
+    fn bare_flags_are_boolean_switches() {
+        let p = parse(strs(&["gc", "--json", "--churn", "50"])).unwrap();
+        assert!(p.is_set("json"));
+        assert!(!p.is_set("trace"));
+        assert_eq!(p.u64_or("churn", 0).unwrap(), 50);
+        // Trailing switch, nothing left to peek at.
+        let p = parse(strs(&["tenants", "--n", "2", "--json"])).unwrap();
+        assert!(p.is_set("json"));
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         assert_eq!(parse(strs(&[])).unwrap_err(), ArgError::MissingCommand);
-        assert_eq!(
-            parse(strs(&["x", "--flag"])).unwrap_err(),
-            ArgError::MissingValue("flag".into())
-        );
         // Positionals may not follow a flag (they would be swallowed as
         // flag values otherwise).
         assert_eq!(

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 
+use serde::Serialize;
 use twob_core::{EntryId, TwoBSpec, TwoBSsd};
 use twob_ftl::Lba;
 use twob_sim::{SimDuration, SimTime};
@@ -25,7 +26,7 @@ subcommands:
            --trace N                     also print the last N device
                                          trace events (spans)
   gc       --churn N --seed S --trace N  background-GC churn study on a
-                                         small drive: fill, overwrite N
+           [--json]                      small drive: fill, overwrite N
                                          times, report tail latency and
                                          per-stage GC attribution
   wal      --scheme dc|ull|async|ba|pm
@@ -35,9 +36,18 @@ subcommands:
            --qd N                        MiniRocks under YCSB-A; --qd > 1
                                          keeps N ops in flight per client
   tenants  --n N --mix pg,rocks,redis
-           --seed S --ops N              N mixed-engine tenants share one
+           --seed S --ops N [--json]     N mixed-engine tenants share one
                                          2B-SSD; per-tenant commit latency
                                          under BA-WAL vs block-WAL
+  repl     --replicas N --mode async|sync|semisync:K
+           --rtt-us R --engine pg|rocks|redis
+           --ship ba|block --seed S
+           --commits C --plans P [--json]
+                                         replicated log shipping: steady-
+                                         state quorum-commit latency, then
+                                         P crash-failover fault plans
+                                         checking the no-acked-loss
+                                         guarantee
   replay   --trace FILE --device dc|ull  replay a block trace (W/R/T/F fmt)
   crash-demo                             durability windows of the byte path
   faults sweep --cuts N --seed S         crash-consistency sweep: N random
@@ -62,6 +72,7 @@ pub fn dispatch(parsed: &Parsed) -> CliResult {
         "wal" => wal(parsed),
         "ycsb" => ycsb(parsed),
         "tenants" => tenants(parsed),
+        "repl" => repl(parsed),
         "replay" => replay(parsed),
         "crash-demo" => crash_demo(),
         "faults" => faults(parsed),
@@ -214,6 +225,46 @@ fn gc(parsed: &Parsed) -> CliResult {
     let idle = ssd.quiesce_background();
     let stats = ssd.ftl().stats();
     let (started, abandoned) = ssd.ftl().gc_job_counts();
+    if parsed.is_set("json") {
+        // Fields reach the output through the vendored serde's
+        // Debug-based serializer, which the dead-code lint can't see.
+        #[derive(Debug, Serialize)]
+        #[allow(dead_code)]
+        struct GcJson {
+            device: String,
+            fill_pages: u64,
+            churn: u64,
+            seed: u64,
+            fresh_p50_us: f64,
+            fresh_p99_us: f64,
+            churn_p50_us: f64,
+            churn_p99_us: f64,
+            waf: f64,
+            gc_page_moves: u64,
+            erases: u64,
+            gc_jobs: u64,
+            gc_abandoned: u64,
+            idle_at_ns: u64,
+        }
+        let row = GcJson {
+            device: ssd.label().to_string(),
+            fill_pages: lbas,
+            churn,
+            seed,
+            fresh_p50_us: fresh.percentile(0.50).as_micros_f64(),
+            fresh_p99_us: fresh.percentile(0.99).as_micros_f64(),
+            churn_p50_us: storm.percentile(0.50).as_micros_f64(),
+            churn_p99_us: storm.percentile(0.99).as_micros_f64(),
+            waf: stats.waf(),
+            gc_page_moves: stats.gc_writes,
+            erases: stats.erases,
+            gc_jobs: started,
+            gc_abandoned: abandoned,
+            idle_at_ns: idle.as_nanos(),
+        };
+        println!("json: {}", serde_json::to_string(&row)?);
+        return Ok(());
+    }
     println!("device:           {} (background GC, greedy)", ssd.label());
     println!("fill:             {lbas} pages, churn: {churn} overwrites (seed {seed})");
     println!(
@@ -381,14 +432,29 @@ fn tenants(parsed: &Parsed) -> CliResult {
             },
         )
     };
-    println!(
-        "{n} tenant(s), mix [{}], seed {seed}, {ops} ops/tenant\n",
-        mix.iter().map(|k| k.label()).collect::<Vec<_>>().join(",")
-    );
-    println!(
-        "{:<7} {:>8} {:>9} {:>10} {:>10} {:>11} {:>10}",
-        "scheme", "commits", "grp %", "p50 us", "p99 us", "worst p99", "commit/s"
-    );
+    let json = parsed.is_set("json");
+    #[derive(Debug, Serialize)]
+    #[allow(dead_code)]
+    struct TenantJson {
+        scheme: String,
+        commits: u64,
+        grouped_pct: f64,
+        p50_us: f64,
+        p99_us: f64,
+        worst_tenant_p99_us: f64,
+        commits_per_sec: f64,
+    }
+    let mut rows = Vec::new();
+    if !json {
+        println!(
+            "{n} tenant(s), mix [{}], seed {seed}, {ops} ops/tenant\n",
+            mix.iter().map(|k| k.label()).collect::<Vec<_>>().join(",")
+        );
+        println!(
+            "{:<7} {:>8} {:>9} {:>10} {:>10} {:>11} {:>10}",
+            "scheme", "commits", "grp %", "p50 us", "p99 us", "worst p99", "commit/s"
+        );
+    }
     for scheme in [WalScheme::Ba, WalScheme::Block] {
         let cfg = TenantPoolConfig {
             ops_per_tenant: ops,
@@ -396,18 +462,167 @@ fn tenants(parsed: &Parsed) -> CliResult {
         };
         let mut pool = TenantPool::new(device(), cfg)?;
         let report = pool.run()?;
-        println!(
-            "{:<7} {:>8} {:>9.1} {:>10.2} {:>10.2} {:>11.2} {:>10.0}",
-            report.scheme,
-            report.commits,
-            report.grouped_pct,
-            report.p50_us,
-            report.p99_us,
-            report.worst_tenant_p99_us,
-            report.commits_per_sec
-        );
+        if json {
+            rows.push(TenantJson {
+                scheme: report.scheme,
+                commits: report.commits,
+                grouped_pct: report.grouped_pct,
+                p50_us: report.p50_us,
+                p99_us: report.p99_us,
+                worst_tenant_p99_us: report.worst_tenant_p99_us,
+                commits_per_sec: report.commits_per_sec,
+            });
+        } else {
+            println!(
+                "{:<7} {:>8} {:>9.1} {:>10.2} {:>10.2} {:>11.2} {:>10.0}",
+                report.scheme,
+                report.commits,
+                report.grouped_pct,
+                report.p50_us,
+                report.p99_us,
+                report.worst_tenant_p99_us,
+                report.commits_per_sec
+            );
+        }
+    }
+    if json {
+        println!("json: {}", serde_json::to_string(&rows)?);
     }
     Ok(())
+}
+
+fn repl(parsed: &Parsed) -> CliResult {
+    use twob_repl::{
+        failover_sweep, CommitPolicy, NetLinkConfig, ReplConfig, ReplicaSet, ShipScheme,
+    };
+
+    let replicas = parsed.u64_or("replicas", 3)?;
+    if !(1..=8).contains(&replicas) {
+        return Err("--replicas must be between 1 and 8".into());
+    }
+    let mode = parsed.str_or("mode", "semisync:2");
+    let policy = CommitPolicy::parse(&mode)
+        .ok_or_else(|| format!("--mode must be async, sync, or semisync:K, not {mode:?}"))?;
+    let ship = parsed.str_or("ship", "ba");
+    let scheme = ShipScheme::parse(&ship)
+        .ok_or_else(|| format!("--ship must be ba or block, not {ship:?}"))?;
+    let engine = match twob_workloads::EngineKind::parse(&parsed.str_or("engine", "rocks"))? {
+        twob_workloads::EngineKind::Pg => twob_faults::EngineKind::Pg,
+        twob_workloads::EngineKind::Rocks => twob_faults::EngineKind::Rocks,
+        twob_workloads::EngineKind::Redis => twob_faults::EngineKind::Redis,
+    };
+    let seed = parsed.u64_or("seed", 42)?;
+    let commits = parsed.u64_or("commits", 60)?;
+    if commits == 0 {
+        return Err("--commits must be positive".into());
+    }
+    let rtt_us = parsed.u64_or("rtt-us", 50)?;
+    let plans = parsed.u64_or("plans", 8)?;
+    let json = parsed.is_set("json");
+
+    let cfg = ReplConfig {
+        engine,
+        scheme,
+        policy,
+        replicas: replicas as usize,
+        link: NetLinkConfig::from_rtt_us(rtt_us),
+        seed,
+        commits,
+    };
+    let steady = ReplicaSet::new(cfg)?.run_steady();
+    let sweep = failover_sweep(plans, seed);
+
+    if json {
+        #[derive(Debug, Serialize)]
+        #[allow(dead_code)]
+        struct SteadyJson {
+            engine: String,
+            ship: String,
+            mode: String,
+            replicas: u64,
+            rtt_us: u64,
+            seed: u64,
+            commits: u64,
+            released: u64,
+            p50_us: f64,
+            p99_us: f64,
+            mean_us: f64,
+            commits_per_sec: f64,
+            ship_batches: u64,
+            ship_records: u64,
+            violations: Vec<String>,
+        }
+        #[derive(Debug, Serialize)]
+        #[allow(dead_code)]
+        struct FailoverJson {
+            plans: u64,
+            seed: u64,
+            acked_commits: u64,
+            survivors: u64,
+            violations: Vec<String>,
+        }
+        #[derive(Debug, Serialize)]
+        #[allow(dead_code)]
+        struct ReplJson {
+            steady: SteadyJson,
+            failover: FailoverJson,
+        }
+        let out = ReplJson {
+            steady: SteadyJson {
+                engine: engine.to_string(),
+                ship: scheme.to_string(),
+                mode: policy.to_string(),
+                replicas,
+                rtt_us,
+                seed,
+                commits,
+                released: steady.released,
+                p50_us: steady.p50_us,
+                p99_us: steady.p99_us,
+                mean_us: steady.mean_us,
+                commits_per_sec: steady.commits_per_sec,
+                ship_batches: steady.ship_batches,
+                ship_records: steady.ship_records,
+                violations: steady.violations.clone(),
+            },
+            failover: FailoverJson {
+                plans: sweep.plans,
+                seed: sweep.seed,
+                acked_commits: sweep.acked_commits,
+                survivors: sweep.survivors,
+                violations: sweep
+                    .violations
+                    .iter()
+                    .map(|(e, s, ps, d)| format!("[{e}/{s} seed={ps}] {d}"))
+                    .collect(),
+            },
+        };
+        println!("json: {}", serde_json::to_string(&out)?);
+    } else {
+        println!(
+            "replica set: {engine} x{replicas}, {mode} over {ship} ship, \
+             rtt {rtt_us} us (seed {seed}, {commits} commits)"
+        );
+        println!(
+            "steady state: released {}, p50 {:.2} us, p99 {:.2} us, \
+             mean {:.2} us, {:.0} commits/s",
+            steady.released, steady.p50_us, steady.p99_us, steady.mean_us, steady.commits_per_sec
+        );
+        println!(
+            "shipping:     {} batches, {} records on the wire",
+            steady.ship_batches, steady.ship_records
+        );
+        for v in &steady.violations {
+            println!("VIOLATION: {v}");
+        }
+        println!("\n{sweep}");
+    }
+    let broken = steady.violations.len() + sweep.violations.len();
+    if broken == 0 {
+        Ok(())
+    } else {
+        Err(format!("{broken} replication invariant violation(s)").into())
+    }
 }
 
 fn replay(parsed: &Parsed) -> CliResult {
@@ -559,7 +774,38 @@ mod tests {
         .unwrap();
         run(&["crash-demo"]).unwrap();
         run(&["faults", "sweep", "--cuts", "9", "--seed", "3"]).unwrap();
+        run(&[
+            "repl",
+            "--replicas",
+            "3",
+            "--mode",
+            "semisync:2",
+            "--commits",
+            "12",
+            "--plans",
+            "2",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
         run(&["help"]).unwrap();
+    }
+
+    #[test]
+    fn json_variants_run() {
+        run(&["gc", "--churn", "200", "--seed", "3", "--json"]).unwrap();
+        run(&["tenants", "--n", "2", "--ops", "40", "--json"]).unwrap();
+        run(&[
+            "repl",
+            "--commits",
+            "10",
+            "--plans",
+            "1",
+            "--seed",
+            "4",
+            "--json",
+        ])
+        .unwrap();
     }
 
     #[test]
@@ -578,6 +824,11 @@ mod tests {
         assert!(run(&["latency", "--trace", "yes"]).is_err());
         assert!(run(&["faults", "retry"]).is_err());
         assert!(run(&["faults", "sweep", "--cuts", "0"]).is_err());
+        assert!(run(&["repl", "--mode", "carrier-pigeon"]).is_err());
+        assert!(run(&["repl", "--ship", "floppy"]).is_err());
+        assert!(run(&["repl", "--engine", "mysql"]).is_err());
+        assert!(run(&["repl", "--replicas", "0"]).is_err());
+        assert!(run(&["repl", "--commits", "0"]).is_err());
     }
 
     #[test]

@@ -166,6 +166,23 @@ impl MiniRedis {
         (t, self.dict.get(key).cloned())
     }
 
+    /// Canonical 64-bit digest of the live dictionary: every key/value pair
+    /// in key order, independent of `HashMap` iteration order or the
+    /// history of sets and deletes that produced the state.
+    pub fn state_digest(&self) -> u64 {
+        let mut keys: Vec<&Vec<u8>> = self.dict.keys().collect();
+        keys.sort();
+        let mut hash = twob_sim::fnv1a64(b"miniredis-state-v1");
+        for key in keys {
+            let value = &self.dict[key];
+            hash = twob_sim::fnv1a64_update(hash, &(key.len() as u32).to_le_bytes());
+            hash = twob_sim::fnv1a64_update(hash, key);
+            hash = twob_sim::fnv1a64_update(hash, &(value.len() as u32).to_le_bytes());
+            hash = twob_sim::fnv1a64_update(hash, value);
+        }
+        hash
+    }
+
     /// AOF rewrite: replaces the append-only file with a compacted
     /// snapshot — one `SET` per live key — written into `fresh` through
     /// its batch path (Redis's `BGREWRITEAOF`). Returns the instant the
@@ -236,6 +253,26 @@ mod tests {
         )
         .unwrap();
         MiniRedis::new(Box::new(aof), EngineCosts::redis())
+    }
+
+    #[test]
+    fn state_digest_is_history_independent() {
+        let mut a = engine();
+        let mut b = engine();
+        let mut t = SimTime::ZERO;
+        // Engine `a` reaches {x: 1, y: 2} via churn, `b` directly.
+        t = a.set(t, b"x".to_vec(), b"9".to_vec()).unwrap().commit_at;
+        t = a.set(t, b"tmp".to_vec(), b"z".to_vec()).unwrap().commit_at;
+        t = a.set(t, b"y".to_vec(), b"2".to_vec()).unwrap().commit_at;
+        t = a.del(t, b"tmp".to_vec()).unwrap().commit_at;
+        t = a.set(t, b"x".to_vec(), b"1".to_vec()).unwrap().commit_at;
+        let mut t2 = SimTime::ZERO;
+        t2 = b.set(t2, b"y".to_vec(), b"2".to_vec()).unwrap().commit_at;
+        t2 = b.set(t2, b"x".to_vec(), b"1".to_vec()).unwrap().commit_at;
+        assert_eq!(a.state_digest(), b.state_digest());
+        t2 = b.set(t2, b"x".to_vec(), b"3".to_vec()).unwrap().commit_at;
+        assert_ne!(a.state_digest(), b.state_digest());
+        let _ = (t, t2);
     }
 
     #[test]

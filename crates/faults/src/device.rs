@@ -8,7 +8,7 @@ use std::rc::Rc;
 use twob_ftl::Lba;
 use twob_sim::SimTime;
 use twob_ssd::{BlockDevice, BlockRead, SsdError};
-use twob_wal::{CommitOutcome, WalError, WalStats, WalWriter};
+use twob_wal::{CommitOutcome, CursorBatch, Lsn, WalError, WalStats, WalTail, WalWriter};
 
 use crate::plan::FlushFault;
 
@@ -180,6 +180,12 @@ impl<W: WalWriter> WalWriter for SharedWal<W> {
 
     fn stats(&self) -> WalStats {
         self.0.borrow().stats()
+    }
+}
+
+impl<W: WalWriter + WalTail> WalTail for SharedWal<W> {
+    fn read_tail(&mut self, now: SimTime, from: Lsn) -> Result<CursorBatch, WalError> {
+        self.0.borrow_mut().read_tail(now, from)
     }
 }
 

@@ -1,7 +1,7 @@
 //! The crash-consistency harness: run a workload, cut power at an arbitrary
 //! virtual instant, restart the stack, and check the recovery invariants.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
 use twob_core::TwoBSpec;
@@ -88,10 +88,17 @@ impl Workload {
     /// Generates the op stream for `engine` under `plan`, deterministically
     /// from the plan's seed.
     pub fn generate(engine: EngineKind, plan: &FaultPlan) -> Workload {
-        let mut rng = SimRng::seed_from(plan.seed ^ 0x0b5e_55ed_0b5e_55ed);
+        Workload::from_seed(engine, plan.seed, plan.commits)
+    }
+
+    /// Generates a `commits`-long op stream for `engine` directly from a
+    /// seed — the form the replication layer uses, where the commit count
+    /// comes from a replication plan rather than a [`FaultPlan`].
+    pub fn from_seed(engine: EngineKind, seed: u64, commits: u64) -> Workload {
+        let mut rng = SimRng::seed_from(seed ^ 0x0b5e_55ed_0b5e_55ed);
         match engine {
             EngineKind::Rocks | EngineKind::Redis => {
-                let ops = (0..plan.commits)
+                let ops = (0..commits)
                     .map(|_| {
                         let key = format!("key-{:02}", rng.next_u64_below(20)).into_bytes();
                         let value = if rng.chance(0.2) {
@@ -108,7 +115,7 @@ impl Workload {
                 Workload::Kv(ops)
             }
             EngineKind::Pg => {
-                let txns = (0..plan.commits)
+                let txns = (0..commits)
                     .map(|_| {
                         let n = 1 + rng.next_u64_below(3);
                         (0..n).map(|_| random_pg_op(&mut rng)).collect()
@@ -147,16 +154,20 @@ fn random_pg_op(rng: &mut SimRng) -> PgOp {
     }
 }
 
-/// An engine of any kind behind one interface, so the drive/verify logic is
-/// written once.
-enum Engine {
+/// An engine of any kind behind one interface, so drive/verify logic — and
+/// the replication layer's primary/replica nodes — are written once.
+pub enum Engine {
+    /// A [`MiniPg`] instance.
     Pg(MiniPg),
+    /// A [`MiniRocks`] instance.
     Rocks(MiniRocks),
+    /// A [`MiniRedis`] instance.
     Redis(MiniRedis),
 }
 
 impl Engine {
-    fn build(kind: EngineKind, wal: Box<dyn WalWriter>) -> Engine {
+    /// Creates an engine of `kind` logging through `wal`.
+    pub fn build(kind: EngineKind, wal: Box<dyn WalWriter>) -> Engine {
         let costs = EngineCosts::default();
         match kind {
             EngineKind::Pg => Engine::Pg(MiniPg::new(wal, costs)),
@@ -166,7 +177,16 @@ impl Engine {
     }
 
     /// Issues commit `idx` of `workload` at `now`.
-    fn commit(
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`DbError`] (WAL append failure, oversized
+    /// record, ...) without issuing the commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload kind does not match the engine kind.
+    pub fn commit(
         &mut self,
         now: SimTime,
         workload: &Workload,
@@ -186,7 +206,12 @@ impl Engine {
         }
     }
 
-    fn apply_records(&mut self, records: &[LogRecord]) -> Result<(), DbError> {
+    /// Replays recovered (or shipped) WAL records into this engine.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::CorruptRecord`] when a payload fails to decode.
+    pub fn apply_records(&mut self, records: &[LogRecord]) -> Result<(), DbError> {
         match self {
             Engine::Pg(pg) => pg.apply_wal_records(records),
             Engine::Rocks(db) => db.apply_wal_records(records),
@@ -194,53 +219,14 @@ impl Engine {
         }
     }
 
-    /// A canonical digest of user-visible state, via public read paths only
-    /// (what an application could observe after recovery).
-    fn digest(&mut self, now: SimTime, workload: &Workload) -> Vec<u8> {
-        let mut out = Vec::new();
-        let push_opt = |out: &mut Vec<u8>, v: Option<&[u8]>| match v {
-            Some(bytes) => {
-                out.push(1);
-                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-                out.extend_from_slice(bytes);
-            }
-            None => out.push(0),
-        };
+    /// The engine's canonical order-independent state digest — byte-equal
+    /// across two engines iff their live user-visible state is identical.
+    pub fn state_digest(&self) -> u64 {
         match self {
-            Engine::Pg(pg) => {
-                for id in 0..12u64 {
-                    push_opt(&mut out, pg.node(id));
-                    out.extend_from_slice(&(pg.link_count(id) as u64).to_le_bytes());
-                    for to in 0..12u64 {
-                        push_opt(&mut out, pg.link(id, to));
-                    }
-                }
-            }
-            Engine::Rocks(db) => {
-                for key in workload_keys(workload) {
-                    let (_, v) = db.get(now, &key);
-                    push_opt(&mut out, v.as_deref());
-                }
-            }
-            Engine::Redis(db) => {
-                out.extend_from_slice(&(db.len() as u64).to_le_bytes());
-                for key in workload_keys(workload) {
-                    let (_, v) = db.get(now, &key);
-                    push_opt(&mut out, v.as_deref());
-                }
-            }
+            Engine::Pg(pg) => pg.state_digest(),
+            Engine::Rocks(db) => db.state_digest(),
+            Engine::Redis(db) => db.state_digest(),
         }
-        out
-    }
-}
-
-fn workload_keys(workload: &Workload) -> Vec<Vec<u8>> {
-    match workload {
-        Workload::Kv(ops) => {
-            let set: BTreeSet<Vec<u8>> = ops.iter().map(|(k, _)| k.clone()).collect();
-            set.into_iter().collect()
-        }
-        Workload::Pg(_) => Vec::new(),
     }
 }
 
@@ -661,17 +647,19 @@ fn verify(
             }
         }
     }
-    let at = cut_at + RESTART_DELAY;
-    if rebuilt.digest(at, workload) != golden.digest(at, workload) {
+    if rebuilt.state_digest() != golden.state_digest() {
         report.violations.push(format!(
-            "recovered state diverges from a golden re-run of {prefix} commits"
+            "recovered state digest {:#018x} diverges from a golden re-run \
+             of {prefix} commits ({:#018x})",
+            rebuilt.state_digest(),
+            golden.state_digest()
         ));
     }
 }
 
 /// A WAL for engines whose log is never read back (golden re-runs): a plain
 /// block WAL over a fresh in-memory device.
-fn throwaway_wal() -> Box<dyn WalWriter> {
+pub fn throwaway_wal() -> Box<dyn WalWriter> {
     let wal = BlockWal::new(
         Ssd::new(SsdConfig::ull_ssd().small()),
         WalConfig::default(),

@@ -33,10 +33,10 @@ mod plan;
 
 pub use device::{FaultyLogDevice, FlushFaults, SharedWal};
 pub use harness::{
-    check_log_prefix, run_schedule, sweep, EngineKind, ScheduleReport, SchemeKind, SweepReport,
-    Workload,
+    check_log_prefix, run_schedule, sweep, throwaway_wal, Engine, EngineKind, ScheduleReport,
+    SchemeKind, SweepReport, Workload,
 };
-pub use plan::{FaultPlan, FlushFault};
+pub use plan::{FaultPlan, FlushFault, ReplFaultPlan, ShipFault};
 
 use proptest::prelude::*;
 

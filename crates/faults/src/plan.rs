@@ -78,9 +78,131 @@ impl FaultPlan {
     }
 }
 
+/// A fault injected into one shipped WAL batch on the replication network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipFault {
+    /// The batch is silently dropped on the wire; the cumulative re-ship
+    /// protocol must recover it on a later send or retransmit tick.
+    Drop,
+    /// The batch is delivered twice; the replica's LSN dedup must make the
+    /// second arrival a no-op.
+    Duplicate,
+    /// The batch is delayed by this many extra nanoseconds, reordering it
+    /// behind later sends.
+    Delay(u64),
+}
+
+/// One deterministic replication fault schedule: a bounded commit stream, a
+/// primary power cut landing mid-protocol, replicas partitioned away before
+/// the cut, and per-send network faults on shipped WAL batches.
+///
+/// Invariant by construction: `partitioned.len() <= quorum - 1` (the
+/// guarantee's "≤ k−1 simultaneous failures" budget — the primary's own
+/// crash is the k-th), and enough replicas stay connected that
+/// `SemiSync(quorum)` keeps making progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplFaultPlan {
+    /// Seed for both plan-derived randomness and the workload stream.
+    pub seed: u64,
+    /// Replica count (excluding the primary).
+    pub replicas: usize,
+    /// The `k` of `SemiSync(k)`: acks required before the client sees the
+    /// commit.
+    pub quorum: usize,
+    /// Commits the client issues before the power cut.
+    pub commits: u64,
+    /// The primary's power dies this many nanoseconds after commit
+    /// `commits - 1` is *issued* — typically mid-ship, with batches on the
+    /// wire and acks outstanding.
+    pub cut_delay_ns: u64,
+    /// `(replica, after_commit_index)`: the replica's link dies in both
+    /// directions once the client issues that commit index.
+    pub partitioned: Vec<(usize, u64)>,
+    /// `(commit_index, replica, fault)`: applied to the ship batch sent to
+    /// `replica` when commit `commit_index` triggers it.
+    pub ship_faults: Vec<(u64, usize, ShipFault)>,
+}
+
+impl ReplFaultPlan {
+    /// Derives a random-but-deterministic replication plan from `seed`.
+    ///
+    /// Replica count, quorum, partition set, and ship faults are all drawn
+    /// from the seed, always respecting the `≤ k−1` failure budget.
+    pub fn random(seed: u64) -> Self {
+        let mut rng =
+            SimRng::seed_from(seed ^ 0x0005_e7fa_u64.rotate_left(17) ^ 0x2B2B_2B2B_2B2B_2B2B);
+        let replicas = 2 + rng.next_u64_below(3) as usize; // 2..=4
+        let quorum = 1 + rng.next_u64_below(replicas as u64) as usize; // 1..=replicas
+        let commits = 6 + rng.next_u64_below(15);
+        // Partition budget: stay within k−1 failures *and* leave at least
+        // `quorum` connected replicas so the protocol keeps releasing.
+        let budget = (quorum - 1).min(replicas - quorum);
+        let n_part = if budget == 0 {
+            0
+        } else {
+            rng.next_u64_below(budget as u64 + 1) as usize
+        };
+        let mut pool: Vec<usize> = (0..replicas).collect();
+        let mut partitioned = Vec::with_capacity(n_part);
+        for _ in 0..n_part {
+            let pick = rng.next_u64_below(pool.len() as u64) as usize;
+            let replica = pool.swap_remove(pick);
+            partitioned.push((replica, rng.next_u64_below(commits)));
+        }
+        partitioned.sort_unstable();
+        let n_ship = rng.next_u64_below(5);
+        let mut ship_faults: Vec<(u64, usize, ShipFault)> = (0..n_ship)
+            .map(|_| {
+                let at = rng.next_u64_below(commits);
+                let replica = rng.next_u64_below(replicas as u64) as usize;
+                let fault = match rng.next_u64_below(3) {
+                    0 => ShipFault::Drop,
+                    1 => ShipFault::Duplicate,
+                    _ => ShipFault::Delay(1_000 + rng.next_u64_below(200_000)),
+                };
+                (at, replica, fault)
+            })
+            .collect();
+        ship_faults.sort_unstable_by_key(|&(at, replica, _)| (at, replica));
+        ReplFaultPlan {
+            seed,
+            replicas,
+            quorum,
+            commits,
+            cut_delay_ns: rng.next_u64_below(120_000),
+            partitioned,
+            ship_faults,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn repl_plans_are_deterministic_and_bounded() {
+        assert_eq!(ReplFaultPlan::random(9), ReplFaultPlan::random(9));
+        assert_ne!(ReplFaultPlan::random(1), ReplFaultPlan::random(2));
+        for seed in 0..300 {
+            let p = ReplFaultPlan::random(seed);
+            assert!((2..=4).contains(&p.replicas));
+            assert!((1..=p.replicas).contains(&p.quorum));
+            assert!((6..=20).contains(&p.commits));
+            // The guarantee's failure budget: primary crash + partitions
+            // stay within k simultaneous failures, and >= k replicas stay
+            // connected.
+            assert!(p.partitioned.len() < p.quorum.max(1));
+            assert!(p.replicas - p.partitioned.len() >= p.quorum);
+            let mut seen: Vec<usize> = p.partitioned.iter().map(|&(r, _)| r).collect();
+            seen.dedup();
+            assert_eq!(seen.len(), p.partitioned.len(), "partition set repeats");
+            for &(at, replica, _) in &p.ship_faults {
+                assert!(at < p.commits);
+                assert!(replica < p.replicas);
+            }
+        }
+    }
 
     #[test]
     fn plans_are_deterministic() {

@@ -28,9 +28,62 @@ pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
     crc
 }
 
+/// Computes the 64-bit FNV-1a hash of `bytes`.
+///
+/// Used where a wider, cheap, dependency-free digest is wanted — e.g. the
+/// engines' canonical `state_digest()` — while CRC-32 stays the on-media
+/// record checksum. Not cryptographic; it detects divergence, not tampering.
+///
+/// # Example
+///
+/// ```rust
+/// // Standard FNV-1a test vectors.
+/// assert_eq!(twob_sim::fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+/// assert_eq!(twob_sim::fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(0xCBF2_9CE4_8422_2325, bytes)
+}
+
+/// Streaming form of [`fnv1a64`]: feed chunks into a running state
+/// initialized with the FNV offset basis (`0xCBF2_9CE4_8422_2325`).
+pub fn fnv1a64_update(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn fnv_streaming_matches_one_shot() {
+        let data = b"hello, streaming world";
+        let mut state = 0xCBF2_9CE4_8422_2325u64;
+        for chunk in data.chunks(5) {
+            state = fnv1a64_update(state, chunk);
+        }
+        assert_eq!(state, fnv1a64(data));
+    }
+
+    #[test]
+    fn fnv_detects_single_bit_flip() {
+        let mut data = vec![0xA5u8; 64];
+        let clean = fnv1a64(&data);
+        data[31] ^= 0x10;
+        assert_ne!(fnv1a64(&data), clean);
+    }
 
     #[test]
     fn known_vectors() {

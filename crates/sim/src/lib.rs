@@ -47,7 +47,7 @@ mod time;
 mod trace;
 
 pub use clock::Clock;
-pub use crc::{crc32, crc32_update};
+pub use crc::{crc32, crc32_update, fnv1a64, fnv1a64_update};
 pub use event::{EventQueue, Executor};
 pub use resource::{MultiServer, ScheduledSpan, Server};
 pub use rng::{SimRng, Zipfian};

@@ -344,6 +344,53 @@ impl WalWriter for BaWal {
     }
 }
 
+impl crate::WalTail for BaWal {
+    /// Reads the tail the way a 2B-SSD WAL sender would: the pinned
+    /// BA-buffer halves come out over `BA_READ_DMA` (the byte-path
+    /// read-out, paper §III-C), which in steady state is the whole story —
+    /// a caught-up reader never touches NAND. Only when `from` predates
+    /// the buffered window does the reader fall back to block reads of the
+    /// flushed log region.
+    fn read_tail(&mut self, now: SimTime, from: Lsn) -> Result<crate::CursorBatch, WalError> {
+        let mut t = now;
+        let mut raw = Vec::new();
+        for entry in self.dev.entries() {
+            let read = self.dev.ba_read_dma(now, entry.eid, 0, entry.len_bytes())?;
+            t = t.max(read.complete_at);
+            raw.extend(crate::decode_stream(&read.data).records);
+        }
+        // A re-pinned half can still decode stale (already-flushed)
+        // records, so "the buffer holds `from`" is the coverage test —
+        // stale records are byte-identical duplicates and dedup away.
+        let covered = from.0 >= self.next_lsn || raw.iter().any(|r| r.lsn == from);
+        if !covered {
+            // Flushes are half-aligned and rewrite whole halves, so the
+            // region is a sequence of independently coherent half-sized
+            // segments (each with slack padding at its tail) — decode each
+            // segment separately; `canonical_tail` orders them by LSN.
+            let mut stream =
+                Vec::with_capacity(self.dev.page_size() * self.cfg.region_pages as usize);
+            for i in 0..u64::from(self.cfg.region_pages) {
+                match self
+                    .dev
+                    .read_pages(now, Lba(self.cfg.region_base_lba + i), 1)
+                {
+                    Ok(read) => {
+                        t = t.max(read.complete_at);
+                        stream.extend_from_slice(&read.data);
+                    }
+                    Err(twob_ssd::SsdError::Unmapped(_)) => break,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            for segment in stream.chunks(self.half_bytes() as usize) {
+                raw.extend(crate::decode_stream(segment).records);
+            }
+        }
+        crate::cursor::finish_tail(raw, from, self.next_lsn, t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

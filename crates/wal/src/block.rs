@@ -258,6 +258,32 @@ impl<D: BlockDevice> WalWriter for BlockWal<D> {
     }
 }
 
+impl<D: BlockDevice> crate::WalTail for BlockWal<D> {
+    /// Reads the tail over block reads of the log region — every poll
+    /// scans from the region base to the write frontier, which is exactly
+    /// why block-WAL shipping costs more than the BA-WAL's `BA_READ_DMA`
+    /// window read-out.
+    fn read_tail(&mut self, now: SimTime, from: Lsn) -> Result<crate::CursorBatch, WalError> {
+        let mut t = now;
+        let mut stream = Vec::with_capacity(self.dev.page_size() * self.cfg.region_pages as usize);
+        for i in 0..u64::from(self.cfg.region_pages) {
+            match self
+                .dev
+                .read_pages(now, Lba(self.cfg.region_base_lba + i), 1)
+            {
+                Ok(read) => {
+                    t = t.max(read.complete_at);
+                    stream.extend_from_slice(&read.data);
+                }
+                Err(twob_ssd::SsdError::Unmapped(_)) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let raw = crate::decode_stream(&stream).records;
+        crate::cursor::finish_tail(raw, from, self.next_lsn, t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

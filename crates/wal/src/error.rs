@@ -25,6 +25,16 @@ pub enum WalError {
     TwoB(TwoBError),
     /// The pin-table arbiter refused the operation.
     Pin(PinError),
+    /// A tail reader asked for an LSN that region wrap-around has already
+    /// overwritten: the reader fell behind the log's retention window.
+    CursorLag {
+        /// The LSN the reader asked for.
+        requested: u64,
+        /// The oldest LSN still readable.
+        oldest: u64,
+    },
+    /// The decoded tail is inconsistent (conflicting payloads for one LSN).
+    CorruptTail(String),
 }
 
 impl fmt::Display for WalError {
@@ -37,6 +47,11 @@ impl fmt::Display for WalError {
             WalError::Device(e) => write!(f, "log device: {e}"),
             WalError::TwoB(e) => write!(f, "2b-ssd: {e}"),
             WalError::Pin(e) => write!(f, "pin table: {e}"),
+            WalError::CursorLag { requested, oldest } => write!(
+                f,
+                "cursor lag: lsn:{requested} already overwritten, oldest readable is lsn:{oldest}"
+            ),
+            WalError::CorruptTail(msg) => write!(f, "corrupt log tail: {msg}"),
         }
     }
 }

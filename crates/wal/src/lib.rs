@@ -48,6 +48,7 @@
 mod ba;
 mod block;
 mod config;
+mod cursor;
 mod error;
 mod group;
 mod pm;
@@ -60,6 +61,7 @@ mod traits;
 pub use ba::BaWal;
 pub use block::BlockWal;
 pub use config::{CommitMode, WalConfig};
+pub use cursor::{CursorBatch, LogCursor, WalTail};
 pub use error::WalError;
 pub use group::{GroupCommit, GroupOutcome};
 pub use pm::PmWal;

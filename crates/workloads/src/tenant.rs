@@ -58,6 +58,20 @@ impl EngineKind {
         }
     }
 
+    /// Parses one engine token (the inverse of [`EngineKind::label`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token if it names no engine.
+    pub fn parse(token: &str) -> Result<EngineKind, String> {
+        match token {
+            "pg" => Ok(EngineKind::Pg),
+            "rocks" => Ok(EngineKind::Rocks),
+            "redis" => Ok(EngineKind::Redis),
+            other => Err(format!("unknown engine '{other}' (pg|rocks|redis)")),
+        }
+    }
+
     /// Parses a comma-separated mix such as `"pg,rocks,redis"`.
     ///
     /// # Errors
@@ -69,12 +83,7 @@ impl EngineKind {
             .split(',')
             .map(str::trim)
             .filter(|t| !t.is_empty())
-            .map(|t| match t {
-                "pg" => Ok(EngineKind::Pg),
-                "rocks" => Ok(EngineKind::Rocks),
-                "redis" => Ok(EngineKind::Redis),
-                other => Err(format!("unknown engine '{other}' (pg|rocks|redis)")),
-            })
+            .map(EngineKind::parse)
             .collect();
         let kinds = kinds?;
         if kinds.is_empty() {
@@ -718,6 +727,10 @@ mod tests {
 
     #[test]
     fn mix_parsing_round_trips_and_rejects_junk() {
+        for kind in [EngineKind::Pg, EngineKind::Rocks, EngineKind::Redis] {
+            assert_eq!(EngineKind::parse(kind.label()).unwrap(), kind);
+        }
+        assert!(EngineKind::parse("mysql").is_err());
         assert_eq!(
             EngineKind::parse_mix("pg,rocks,redis").unwrap(),
             vec![EngineKind::Pg, EngineKind::Rocks, EngineKind::Redis]

@@ -20,6 +20,8 @@
 //! - [`workloads`] — Linkbench-like, YCSB, and FIO-like drivers.
 //! - [`faults`] — deterministic fault injection and the crash-consistency
 //!   harness (power cuts, flush faults, NAND errors, recovery invariants).
+//! - [`repl`] — replicated log shipping over simulated 2B-SSDs: quorum
+//!   commit, deterministic network faults, and crash-failover guarantees.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@ pub use twob_fs as fs;
 pub use twob_ftl as ftl;
 pub use twob_nand as nand;
 pub use twob_pcie as pcie;
+pub use twob_repl as repl;
 pub use twob_sim as sim;
 pub use twob_ssd as ssd;
 pub use twob_wal as wal;
