@@ -1,0 +1,147 @@
+//! Kernel throughput bench: events/sec of the rebuilt wheel kernel vs the
+//! legacy binary-heap oracle across four workload-shaped event mixes.
+//!
+//! Flags:
+//!
+//! - `--write` — refresh `BENCH_sim_throughput.json` at the repo root;
+//! - `--check` — compare this run's speedup ratios against the tracked
+//!   baseline and exit non-zero on a >20% regression.
+//!
+//! The `json:` line carries only deterministic fields (events, digests,
+//! final virtual instants) so CI can byte-diff two runs; wall-clock rates
+//! go to the BENCH file only.
+
+use twob_bench::sim_throughput::{self, Report, Speedup};
+
+/// Tracked baseline location, resolved relative to this crate so the
+/// binary works from any working directory.
+const BENCH_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../BENCH_sim_throughput.json"
+);
+
+/// A regression is a mix whose speedup ratio fell below 80% of baseline.
+const REGRESSION_FLOOR: f64 = 0.8;
+
+/// The acceptance floor: the rebuilt kernel must beat the legacy kernel by
+/// at least this factor on the repl-shaped mix (release builds only —
+/// debug builds measure the assertion machinery, not the kernel).
+const REPL_FLOOR: f64 = 3.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let write = args.iter().any(|a| a == "--write");
+    let check = args.iter().any(|a| a == "--check");
+
+    let report = sim_throughput::run();
+    print_report(&report);
+
+    let repl = ratio_of(&report.speedups, "repl").expect("repl mix always runs");
+    if cfg!(debug_assertions) {
+        eprintln!("(debug build: skipping the {REPL_FLOOR}x repl speedup floor)");
+    } else {
+        assert!(
+            repl >= REPL_FLOOR,
+            "rebuilt kernel is only {repl:.2}x the legacy kernel on the repl mix \
+             (floor is {REPL_FLOOR}x)"
+        );
+    }
+
+    if write {
+        std::fs::write(BENCH_PATH, bench_file(&report)).expect("write BENCH_sim_throughput.json");
+        eprintln!("wrote {BENCH_PATH}");
+    }
+    if check {
+        let baseline =
+            std::fs::read_to_string(BENCH_PATH).expect("read tracked BENCH_sim_throughput.json");
+        let mut failures = Vec::new();
+        for s in &report.speedups {
+            let Some(base) = baseline_ratio(&baseline, &s.mix) else {
+                failures.push(format!("mix {:?} missing from baseline", s.mix));
+                continue;
+            };
+            if s.ratio < base * REGRESSION_FLOOR {
+                failures.push(format!(
+                    "mix {:?} regressed: speedup {:.2}x vs baseline {:.2}x",
+                    s.mix, s.ratio, base
+                ));
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "kernel throughput regressions:\n  {}",
+            failures.join("\n  ")
+        );
+        eprintln!("check passed: no mix regressed >20% vs baseline ratios");
+    }
+}
+
+/// Prints the human tables and the deterministic `json:` line.
+fn print_report(report: &Report) {
+    println!(
+        "Event-kernel throughput: rebuilt (wheel + closed-form) vs legacy (heap + event-chain)\n"
+    );
+    let rows: Vec<Vec<String>> = report
+        .perf
+        .iter()
+        .map(|r| {
+            vec![
+                r.mix.clone(),
+                r.kernel.clone(),
+                r.events.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.events_per_sec),
+                format!("{:.1}", r.sim_secs_per_sec),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &["mix", "kernel", "events", "wall ms", "events/s", "sim s/s"],
+        &rows,
+    );
+    println!();
+    let ratios: Vec<Vec<String>> = report
+        .speedups
+        .iter()
+        .map(|s| vec![s.mix.clone(), format!("{:.2}x", s.ratio)])
+        .collect();
+    twob_bench::print_table(&["mix", "rebuilt/legacy"], &ratios);
+    println!(
+        "\njson: {}",
+        serde_json::to_string(&report.det).expect("serialize deterministic rows")
+    );
+}
+
+/// Renders the tracked BENCH file: perf rows plus speedup ratios.
+fn bench_file(report: &Report) -> String {
+    #[derive(Debug)]
+    #[allow(dead_code)] // fields are read through Debug by the serializer
+    struct BenchFile<'a> {
+        schema: &'a str,
+        rows: &'a [sim_throughput::PerfRow],
+        speedups: &'a [Speedup],
+    }
+    let mut text = serde_json::to_string(&BenchFile {
+        schema: "sim-throughput-v1",
+        rows: &report.perf,
+        speedups: &report.speedups,
+    })
+    .expect("serialize bench file");
+    text.push('\n');
+    text
+}
+
+fn ratio_of(speedups: &[Speedup], mix: &str) -> Option<f64> {
+    speedups.iter().find(|s| s.mix == mix).map(|s| s.ratio)
+}
+
+/// Extracts `{"mix":"<mix>","ratio":<f64>}` from the baseline file. The
+/// vendored serde stand-in cannot parse JSON, so this leans on the exact
+/// shape [`bench_file`] writes.
+fn baseline_ratio(baseline: &str, mix: &str) -> Option<f64> {
+    let needle = format!("{{\"mix\":\"{mix}\",\"ratio\":");
+    let at = baseline.find(&needle)? + needle.len();
+    let rest = &baseline[at..];
+    let end = rest.find(['}', ','])?;
+    rest[..end].trim().parse().ok()
+}

@@ -19,6 +19,7 @@
 //! | GC interference study | [`mod@gc_interference`] | `gc_interference` |
 //! | Multi-tenant sweep of §V co-location | [`mod@tenant_sweep`] | `tenant_sweep` |
 //! | Replication sweep (beyond the paper) | [`mod@repl_sweep`] | `repl_sweep` |
+//! | Kernel throughput (engine, not model) | [`mod@sim_throughput`] | `sim_throughput` |
 //!
 //! The `regen_golden` binary re-captures every fixture under
 //! `tests/golden/` from the current simulator.
@@ -35,6 +36,7 @@ pub mod fig9;
 pub mod gc_interference;
 pub mod qd_sweep;
 pub mod repl_sweep;
+pub mod sim_throughput;
 pub mod table1;
 pub mod tenant_sweep;
 

@@ -155,6 +155,15 @@ impl IoCalendar {
         self.exec.now()
     }
 
+    /// How many submissions or completions were posted at instants already
+    /// in the past and clamped forward to `now`. A non-zero count after a
+    /// [`IoCalendar::drive`] means a caller dated an operation before the
+    /// calendar's clock — the operation still ran (at `now`), but the
+    /// intended timeline was not the one simulated.
+    pub fn clamped_posts(&self) -> u64 {
+        self.exec.clamped_posts()
+    }
+
     /// Drains the calendar against `dev`, dispatching every submitted
     /// operation at its start instant and recording completions in
     /// completion-time order. Returns how many operations completed during
@@ -288,6 +297,7 @@ mod tests {
         );
         let completed = cal.drive(&mut dev);
         assert_eq!(completed, 2);
+        assert_eq!(cal.clamped_posts(), 0, "no op was dated before the clock");
         let done = cal.drain_completions();
         let contended = done.iter().find(|c| c.id == read_id).unwrap();
         assert!(

@@ -612,6 +612,12 @@ impl ReplicaSet {
         let mut exec: Executor<Ev> = Executor::new();
         exec.post(T0, Ev::Issue);
         exec.run(|ex, t, ev| self.handle(ex, t, ev));
+        debug_assert_eq!(
+            exec.clamped_posts(),
+            0,
+            "replication protocol posted an event into the past: deliveries, \
+             acks, retransmit timers, and issue wake-ups all chain forward"
+        );
         self.steady_report()
     }
 

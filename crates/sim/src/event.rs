@@ -1,12 +1,24 @@
 //! The discrete-event kernel: a calendar of timestamped events and an
 //! executor that drains it in deterministic order.
 //!
-//! The calendar is a binary-heap priority queue keyed by [`SimTime`] with a
-//! monotonically increasing sequence number as tie-breaker, so events posted
-//! for the same instant fire in FIFO order. This makes every run of a
+//! Two calendar implementations share the [`Calendar`] contract:
+//!
+//! - [`WheelQueue`](crate::WheelQueue): the default — a calendar queue with
+//!   slab-allocated event payloads, lazily sorted buckets, and batched
+//!   same-instant dispatch. This is the fast path every simulation runs on.
+//! - [`HeapQueue`]: the original binary-heap calendar, kept as the
+//!   differential-testing *oracle*. Building `twob-sim` with the
+//!   `heap-kernel` feature flips the [`EventQueue`] alias (and with it every
+//!   consumer in the workspace) back onto the heap, so any suspected kernel
+//!   bug can be bisected by re-running a sweep on the oracle.
+//!
+//! Both calendars order events by `(time, insertion sequence)`, so events
+//! posted for the same instant fire in FIFO order. This makes every run of a
 //! simulation bit-for-bit reproducible: the only ordering inputs are the
 //! timestamps and the order in which events were posted, never hash-map
-//! iteration order or wall-clock scheduling.
+//! iteration order or wall-clock scheduling. A differential proptest
+//! (`tests/differential.rs`) drives random event programs through both
+//! calendars and asserts identical firing sequences.
 //!
 //! # Example
 //!
@@ -23,8 +35,49 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::marker::PhantomData;
 
+use crate::wheel::WheelQueue;
 use crate::SimTime;
+
+/// The contract every event calendar implements: push timestamped events,
+/// pop them back in `(time, insertion sequence)` order.
+///
+/// The executor is generic over this trait so the production calendar
+/// ([`WheelQueue`](crate::WheelQueue)) and the binary-heap oracle
+/// ([`HeapQueue`]) can be swapped freely — per call site for differential
+/// tests, or workspace-wide via the `heap-kernel` feature.
+pub trait Calendar<E>: Default {
+    /// Schedules `event` to fire at `at`.
+    fn push(&mut self, at: SimTime, event: E);
+    /// Removes and returns the earliest event, FIFO among ties.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+    /// The firing time of the earliest pending event, if any.
+    fn peek_time(&self) -> Option<SimTime>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Returns `true` if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total events ever pushed (the next tie-breaking sequence number).
+    fn pushed(&self) -> u64;
+}
+
+/// The workspace-default calendar behind [`Executor`].
+///
+/// Normally the calendar-queue [`WheelQueue`](crate::WheelQueue); compiling
+/// `twob-sim` with the `heap-kernel` feature swaps every consumer onto the
+/// binary-heap [`HeapQueue`] oracle instead, for differential debugging.
+#[cfg(not(feature = "heap-kernel"))]
+pub type EventQueue<E> = WheelQueue<E>;
+
+/// The workspace-default calendar behind [`Executor`].
+///
+/// The `heap-kernel` feature is enabled: every consumer runs on the
+/// binary-heap [`HeapQueue`] oracle.
+#[cfg(feature = "heap-kernel")]
+pub type EventQueue<E> = HeapQueue<E>;
 
 /// One pending event: fires at `at`, FIFO among events at the same instant.
 #[derive(Debug, Clone)]
@@ -56,26 +109,27 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A calendar of future events ordered by `(time, insertion sequence)`.
+/// The original binary-heap calendar, retained as the differential-testing
+/// oracle for [`WheelQueue`](crate::WheelQueue).
 ///
 /// Events for the same instant pop in the order they were pushed, which is
 /// what makes simulations built on the calendar deterministic.
 #[derive(Debug, Clone)]
-pub struct EventQueue<E> {
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
-        EventQueue::new()
+        HeapQueue::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty calendar.
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -114,32 +168,70 @@ impl<E> EventQueue<E> {
     }
 }
 
-/// Drains an [`EventQueue`] in time order, tracking the current virtual
+impl<E> Calendar<E> for HeapQueue<E> {
+    fn push(&mut self, at: SimTime, event: E) {
+        HeapQueue::push(self, at, event);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        HeapQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        HeapQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        HeapQueue::len(self)
+    }
+    fn pushed(&self) -> u64 {
+        HeapQueue::pushed(self)
+    }
+}
+
+/// Drains a [`Calendar`] in time order, tracking the current virtual
 /// instant and letting handlers post follow-up events.
 ///
 /// The handler receives `(&mut Executor, fire_time, event)` and may call
 /// [`Executor::post`] to chain further events; posting "into the past" is
-/// clamped to the current instant so time never runs backwards.
+/// clamped to the current instant so time never runs backwards. Every such
+/// clamp is counted — a clamp usually means a scheduling bug upstream, so
+/// sweeps assert [`Executor::clamped_posts`] stays zero (see the
+/// `sim_throughput` bench).
+///
+/// The second type parameter selects the calendar; it defaults to
+/// [`EventQueue`], so `Executor<MyEvent>` is the production kernel and
+/// `Executor<MyEvent, HeapQueue<MyEvent>>` is the differential oracle.
 #[derive(Debug, Clone)]
-pub struct Executor<E> {
-    queue: EventQueue<E>,
+pub struct Executor<E, Q: Calendar<E> = EventQueue<E>> {
+    queue: Q,
     now: SimTime,
     processed: u64,
+    clamped: u64,
+    _event: PhantomData<fn() -> E>,
 }
 
-impl<E> Default for Executor<E> {
+impl<E, Q: Calendar<E>> Default for Executor<E, Q> {
     fn default() -> Self {
-        Executor::new()
+        Executor::with_calendar()
     }
 }
 
 impl<E> Executor<E> {
-    /// Creates an idle executor at time zero.
+    /// Creates an idle executor at time zero on the default calendar.
     pub fn new() -> Self {
+        Executor::with_calendar()
+    }
+}
+
+impl<E, Q: Calendar<E>> Executor<E, Q> {
+    /// Creates an idle executor at time zero on an explicitly chosen
+    /// calendar, e.g. `Executor::<Ev, HeapQueue<Ev>>::with_calendar()` for
+    /// the differential-testing oracle.
+    pub fn with_calendar() -> Self {
         Executor {
-            queue: EventQueue::new(),
+            queue: Q::default(),
             now: SimTime::ZERO,
             processed: 0,
+            clamped: 0,
+            _event: PhantomData,
         }
     }
 
@@ -163,9 +255,30 @@ impl<E> Executor<E> {
         self.queue.is_empty()
     }
 
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of posts that targeted the past and were clamped forward to
+    /// the current instant.
+    ///
+    /// A clamp silently rewrites a timestamp, which almost always masks a
+    /// scheduling bug in the poster; benches and differential tests assert
+    /// this stays zero. The one legitimate clamp pattern — posting at
+    /// "now or earlier" to mean "immediately" — should pass
+    /// [`Executor::now`] explicitly instead.
+    pub fn clamped_posts(&self) -> u64 {
+        self.clamped
+    }
+
     /// Posts `event` to fire at `at`, clamped to the current instant so a
-    /// handler cannot schedule into the past.
+    /// handler cannot schedule into the past. Clamps are counted in
+    /// [`Executor::clamped_posts`].
     pub fn post(&mut self, at: SimTime, event: E) {
+        if at < self.now {
+            self.clamped += 1;
+        }
         self.queue.push(at.max(self.now), event);
     }
 
@@ -173,7 +286,7 @@ impl<E> Executor<E> {
     /// clock to its timestamp. Returns `false` if the calendar was empty.
     pub fn step<F>(&mut self, handler: &mut F) -> bool
     where
-        F: FnMut(&mut Executor<E>, SimTime, E),
+        F: FnMut(&mut Executor<E, Q>, SimTime, E),
     {
         match self.queue.pop() {
             None => false,
@@ -191,7 +304,7 @@ impl<E> Executor<E> {
     /// handler itself) in deterministic `(time, seq)` order.
     pub fn run<F>(&mut self, mut handler: F)
     where
-        F: FnMut(&mut Executor<E>, SimTime, E),
+        F: FnMut(&mut Executor<E, Q>, SimTime, E),
     {
         while self.step(&mut handler) {}
     }
@@ -200,7 +313,7 @@ impl<E> Executor<E> {
     /// pending. Advances the clock to `until` if the calendar runs dry first.
     pub fn run_until<F>(&mut self, until: SimTime, mut handler: F)
     where
-        F: FnMut(&mut Executor<E>, SimTime, E),
+        F: FnMut(&mut Executor<E, Q>, SimTime, E),
     {
         while self.queue.peek_time().is_some_and(|t| t <= until) {
             self.step(&mut handler);
@@ -217,6 +330,18 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), "c");
+        q.push(SimTime::from_nanos(10), "a");
+        q.push(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn heap_oracle_pops_in_time_order() {
+        let mut q = HeapQueue::new();
         q.push(SimTime::from_nanos(30), "c");
         q.push(SimTime::from_nanos(10), "a");
         q.push(SimTime::from_nanos(20), "b");
@@ -256,7 +381,7 @@ mod tests {
     }
 
     #[test]
-    fn post_clamps_to_current_instant() {
+    fn post_clamps_to_current_instant_and_counts_it() {
         let mut exec = Executor::new();
         exec.post(SimTime::from_nanos(100), "first");
         let mut fired = Vec::new();
@@ -268,6 +393,22 @@ mod tests {
             }
         });
         assert_eq!(fired, vec![(100, "first"), (100, "clamped")]);
+        assert_eq!(exec.clamped_posts(), 1);
+    }
+
+    #[test]
+    fn posting_at_now_is_not_a_clamp() {
+        let mut exec = Executor::new();
+        exec.post(SimTime::from_nanos(10), "a");
+        exec.run(|ex, t, ev| {
+            if ev == "a" {
+                // Posting exactly at the current instant is legitimate
+                // immediate dispatch, not a clamp.
+                ex.post(t, "b");
+            }
+        });
+        assert_eq!(exec.clamped_posts(), 0);
+        assert_eq!(exec.processed(), 2);
     }
 
     #[test]
@@ -283,5 +424,26 @@ mod tests {
         exec.run(|_, _, _| count += 1);
         assert_eq!(count, 2);
         assert_eq!(exec.now(), SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn oracle_executor_matches_default_on_a_chained_program() {
+        fn program<Q: Calendar<u32>>(exec: &mut Executor<u32, Q>) -> Vec<(u64, u32)> {
+            let mut log = Vec::new();
+            exec.post(SimTime::from_nanos(5), 4u32);
+            exec.post(SimTime::from_nanos(5), 9u32);
+            exec.run(|ex, t, n| {
+                log.push((t.as_nanos(), n));
+                if n > 0 {
+                    ex.post(t + SimDuration::from_nanos(u64::from(n % 3)), n - 1);
+                }
+            });
+            log
+        }
+        let mut wheel: Executor<u32, WheelQueue<u32>> = Executor::with_calendar();
+        let mut heap: Executor<u32, HeapQueue<u32>> = Executor::with_calendar();
+        assert_eq!(program(&mut wheel), program(&mut heap));
+        assert_eq!(wheel.processed(), heap.processed());
+        assert_eq!(wheel.now(), heap.now());
     }
 }

@@ -7,12 +7,20 @@
 //! - [`SimTime`] / [`SimDuration`]: nanosecond-resolution virtual timestamps
 //!   and spans, as distinct newtypes so instants and spans cannot be mixed up.
 //! - [`Clock`]: a monotonically advancing virtual clock.
-//! - [`EventQueue`] / [`Executor`]: the discrete-event kernel — a binary-heap
-//!   calendar keyed by `SimTime` with FIFO tie-breaking by insertion sequence,
-//!   and an executor that drains it deterministically.
+//! - [`EventQueue`] / [`Executor`]: the discrete-event kernel — a calendar
+//!   queue ([`WheelQueue`]) with slab event storage, keyed by `SimTime` with
+//!   FIFO tie-breaking by insertion sequence, and an executor that drains it
+//!   deterministically. The original binary-heap calendar survives as
+//!   [`HeapQueue`], the differential-testing oracle; the `heap-kernel`
+//!   feature swaps the whole workspace back onto it.
+//! - [`ShardedExecutor`]: conservative parallel discrete-event execution
+//!   across sharded time domains (dies, channels, replica nodes) with
+//!   byte-identical sequential/parallel firing order.
 //! - [`Server`] / [`MultiServer`]: FIFO queuing resources (NAND channels,
-//!   firmware cores, the PCIe link) built on the event kernel. An operation
-//!   arriving at `t` with service time `s` completes at `max(t, free_at) + s`.
+//!   firmware cores, the PCIe link). An operation arriving at `t` with
+//!   service time `s` completes at `max(t, free_at) + s`, computed in closed
+//!   form on the hot path and pinned against the event-driven oracle
+//!   ([`Server::schedule_via_events`]) by proptests.
 //! - [`Histogram`] / [`RunningStats`]: latency/throughput statistics with
 //!   percentiles.
 //! - [`SimRng`] and [`Zipfian`]: seeded, reproducible randomness for
@@ -41,17 +49,21 @@ mod crc;
 mod event;
 mod resource;
 mod rng;
+mod shard;
 mod span;
 mod stats;
 mod time;
 mod trace;
+mod wheel;
 
 pub use clock::Clock;
 pub use crc::{crc32, crc32_update, fnv1a64, fnv1a64_update};
-pub use event::{EventQueue, Executor};
+pub use event::{Calendar, EventQueue, Executor, HeapQueue};
 pub use resource::{MultiServer, ScheduledSpan, Server};
 pub use rng::{SimRng, Zipfian};
+pub use shard::{ShardCtx, ShardedExecutor};
 pub use span::LatencyBreakdown;
 pub use stats::{Histogram, RunningStats, Throughput};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceRing};
+pub use wheel::WheelQueue;

@@ -1,14 +1,15 @@
-//! FIFO queuing resources built on the discrete-event kernel.
+//! FIFO queuing resources: the hottest path in the simulator.
 //!
-//! Each [`Server::schedule`] call plays out as a two-event chain on a
-//! calendar — an *arrival* that claims the server when it frees, and a
-//! *completion* that releases it — so the span it returns is the one the
-//! event kernel computed. Because the kernel breaks time ties FIFO by
-//! insertion sequence, the spans are identical to the closed-form busy-until
-//! arithmetic (`start = max(arrival, free_at)`, `end = start + service`)
-//! the stack used before the kernel existed; a proptest in `tests/props.rs`
-//! pins that equivalence.
+//! [`Server::schedule`] runs under every simulated I/O, so it is computed in
+//! closed form — `start = max(arrival, free_at)`, `end = start + service` —
+//! with zero allocation. An earlier kernel iteration played every call out
+//! as a two-event chain on a freshly allocated calendar; that implementation
+//! survives as [`Server::schedule_via_events`], the oracle a proptest in
+//! `tests/props.rs` pins the closed form against byte-for-byte (the event
+//! kernel breaks time ties FIFO by insertion sequence, so the two agree on
+//! every schedule).
 
+use crate::event::HeapQueue;
 use crate::{Executor, SimDuration, SimTime};
 
 /// The span during which a scheduled operation occupied a resource.
@@ -80,18 +81,32 @@ impl Server {
     /// Schedules an operation arriving at `arrival` requiring `service` time,
     /// returning the span during which it held the server.
     ///
-    /// The span is produced by draining a per-call event calendar: the
-    /// arrival event claims the server at `max(arrival, free_at)` and posts
-    /// the completion event `service` later. An arrival in the past (before
-    /// the server's current `free_at`) is therefore clamped forward — it
-    /// queues like any other request, and `busy_intervals` stays sorted.
+    /// Computed in closed form with no allocation: service begins once both
+    /// the request and the server are ready (`max(arrival, free_at)`) and
+    /// the server is busy until `service` later. An arrival in the past
+    /// (before the server's current `free_at`) is therefore clamped forward
+    /// — it queues like any other request, and `busy_intervals` stays
+    /// sorted. [`Server::schedule_via_events`] is the event-driven oracle
+    /// this is proptest-pinned against.
     pub fn schedule(&mut self, arrival: SimTime, service: SimDuration) -> ScheduledSpan {
+        let start = arrival.max(self.free_at);
+        let end = start + service;
+        self.commit_span(start, end, service);
+        ScheduledSpan { start, end }
+    }
+
+    /// The legacy event-driven implementation of [`Server::schedule`]: the
+    /// arrival and completion play out as a two-event chain on a freshly
+    /// allocated binary-heap calendar. Kept as the differential-testing
+    /// oracle — byte-equivalent to the closed form, and the "before" side of
+    /// the `sim_throughput` bench's kernel comparison.
+    pub fn schedule_via_events(&mut self, arrival: SimTime, service: SimDuration) -> ScheduledSpan {
         enum Ev {
             Arrive(SimDuration),
             Complete { start: SimTime },
         }
         let free_at = self.free_at;
-        let mut exec = Executor::new();
+        let mut exec: Executor<Ev, HeapQueue<Ev>> = Executor::with_calendar();
         exec.post(arrival, Ev::Arrive(service));
         let mut span = None;
         exec.run(|ex, t, ev| match ev {
@@ -105,6 +120,13 @@ impl Server {
         });
         let ScheduledSpan { start, end } =
             span.expect("the arrival event always chains a completion");
+        self.commit_span(start, end, service);
+        ScheduledSpan { start, end }
+    }
+
+    /// Books a computed span into the busy-time accounting shared by the
+    /// closed-form path and the event-driven oracle.
+    fn commit_span(&mut self, start: SimTime, end: SimTime, service: SimDuration) {
         self.free_at = end;
         self.busy_total += service;
         self.served += 1;
@@ -133,7 +155,6 @@ impl Server {
                 });
             }
         }
-        ScheduledSpan { start, end }
     }
 
     /// Returns the instant at which the server next becomes idle.

@@ -1,0 +1,404 @@
+//! Conservative parallel discrete-event execution (PDES) across sharded
+//! time domains.
+//!
+//! A [`ShardedExecutor`] partitions a simulation into independent *time
+//! domains* — dies, channels, or replica nodes with their own calendars —
+//! that only interact through messages carrying a minimum latency, the
+//! *lookahead* (a NAND program time, a NetLink RTT). That latency is what
+//! makes conservative parallelism safe: if the earliest pending event
+//! anywhere is at `T`, no shard can receive a new message before
+//! `T + lookahead`, so every shard may process its events up to
+//! `T + lookahead - 1 ns` without coordination.
+//!
+//! Execution proceeds in rounds:
+//!
+//! 1. Compute the global minimum next-event time `T` across shards.
+//! 2. Every shard independently drains its calendar through the safe
+//!    horizon `T + lookahead - 1 ns` — sequentially, or on its own OS
+//!    thread via [`ShardedExecutor::run_parallel`]. Cross-shard sends are
+//!    buffered in a per-shard outbox, never delivered mid-round.
+//! 3. At the round barrier, outboxes are merged and delivered in
+//!    `(fire time, sender shard, send order)` order.
+//!
+//! Because each shard's intra-round execution touches only its own state,
+//! and the inter-round delivery order is a pure function of simulated time,
+//! the firing sequence is **byte-identical between sequential and parallel
+//! execution and across thread counts** — determinism is a property of the
+//! schedule, not the scheduler. A test below and the `sim_throughput` bench
+//! (sharded replication mix) pin this.
+//!
+//! # Example
+//!
+//! ```rust
+//! use twob_sim::{ShardedExecutor, SimDuration, SimTime};
+//!
+//! // Two domains ping-ponging a token with a 10 us link latency. Each
+//! // shard logs its own hops in its state slot (handlers are `Fn`, so
+//! // mutable state lives per shard — that is what makes them parallel-safe).
+//! let mut pdes: ShardedExecutor<u32> = ShardedExecutor::new(2, SimDuration::from_micros(10));
+//! pdes.seed(0, SimTime::ZERO, 3);
+//! let mut hops: Vec<Vec<(u64, u32)>> = vec![Vec::new(); 2];
+//! pdes.run(&mut hops, &|ctx, state, t, ttl| {
+//!     state.push((t.as_nanos(), ttl));
+//!     if ttl > 0 {
+//!         let dst = 1 - ctx.shard();
+//!         ctx.send(dst, t + SimDuration::from_micros(10), ttl - 1);
+//!     }
+//! });
+//! assert_eq!(hops[0], vec![(0, 3), (20_000, 1)]);
+//! assert_eq!(hops[1], vec![(10_000, 2), (30_000, 0)]);
+//! ```
+
+use crate::{Executor, SimDuration, SimTime};
+
+/// A cross-shard message buffered until the round barrier.
+#[derive(Debug, Clone)]
+struct Envelope<E> {
+    at: SimTime,
+    src: usize,
+    dst: usize,
+    /// Emission order within the sender's round, for deterministic ties.
+    order: u64,
+    event: E,
+}
+
+/// The per-shard view handed to event handlers: local posting plus
+/// lookahead-checked cross-shard sends.
+#[derive(Debug)]
+pub struct ShardCtx<'a, E> {
+    shard: usize,
+    exec: &'a mut Executor<E>,
+    outbox: &'a mut Vec<Envelope<E>>,
+    lookahead: SimDuration,
+}
+
+impl<E> ShardCtx<'_, E> {
+    /// The shard this handler is running on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The shard's current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.exec.now()
+    }
+
+    /// Posts a follow-up event on this shard's own calendar.
+    pub fn post(&mut self, at: SimTime, event: E) {
+        self.exec.post(at, event);
+    }
+
+    /// Sends `event` to fire at `at` on shard `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is closer than the lookahead — delivering earlier
+    /// than `now + lookahead` would break the conservative safety argument
+    /// (another shard may already have simulated past `at`).
+    pub fn send(&mut self, dst: usize, at: SimTime, event: E) {
+        assert!(
+            at >= self.exec.now() + self.lookahead,
+            "cross-shard send at {at} violates lookahead {} from {}",
+            self.lookahead,
+            self.exec.now(),
+        );
+        let order = self.outbox.len() as u64;
+        self.outbox.push(Envelope {
+            at,
+            src: self.shard,
+            dst,
+            order,
+            event,
+        });
+    }
+}
+
+/// A bank of per-domain [`Executor`]s advanced in conservative lock-step.
+/// See the [module docs](self) for the safety and determinism argument.
+#[derive(Debug, Clone)]
+pub struct ShardedExecutor<E> {
+    shards: Vec<Executor<E>>,
+    lookahead: SimDuration,
+    rounds: u64,
+}
+
+impl<E> ShardedExecutor<E> {
+    /// Creates `n` empty time domains joined by links of minimum latency
+    /// `lookahead`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `lookahead` is zero — a zero lookahead
+    /// admits no safe horizon and degenerates to sequential execution.
+    pub fn new(n: usize, lookahead: SimDuration) -> Self {
+        assert!(n > 0, "a ShardedExecutor needs at least one shard");
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative PDES requires a positive lookahead"
+        );
+        ShardedExecutor {
+            shards: (0..n).map(|_| Executor::new()).collect(),
+            lookahead,
+            rounds: 0,
+        }
+    }
+
+    /// Number of time domains.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Returns `true` if the executor has no shards (never by construction).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Seeds an initial event on shard `dst` before running.
+    pub fn seed(&mut self, dst: usize, at: SimTime, event: E) {
+        self.shards[dst].post(at, event);
+    }
+
+    /// Synchronization rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total events processed across all shards.
+    pub fn processed(&self) -> u64 {
+        self.shards.iter().map(Executor::processed).sum()
+    }
+
+    /// Total past-posts clamped across all shards (should stay zero; see
+    /// [`Executor::clamped_posts`]).
+    pub fn clamped_posts(&self) -> u64 {
+        self.shards.iter().map(Executor::clamped_posts).sum()
+    }
+
+    /// Read access to one shard's executor (for assertions and stats).
+    pub fn shard(&self, i: usize) -> &Executor<E> {
+        &self.shards[i]
+    }
+
+    /// The safe horizon for the coming round, if any events are pending.
+    fn horizon(&self) -> Option<SimTime> {
+        let min = self
+            .shards
+            .iter()
+            .filter_map(|s| s.peek_next_time())
+            .min()?;
+        // Inclusive horizon: lookahead - 1 ns, so an event fired exactly at
+        // `min` can send a message arriving at `min + lookahead` without any
+        // shard having simulated that instant yet.
+        Some(min + self.lookahead - SimDuration::from_nanos(1))
+    }
+
+    /// Delivers buffered cross-shard messages in deterministic
+    /// `(fire time, sender, send order)` order.
+    fn deliver(&mut self, mut mail: Vec<Envelope<E>>) {
+        mail.sort_by_key(|m| (m.at, m.src, m.order));
+        for m in mail {
+            debug_assert!(
+                m.at >= self.shards[m.dst].now(),
+                "conservative horizon admitted a stale delivery"
+            );
+            self.shards[m.dst].post(m.at, m.event);
+        }
+    }
+
+    /// Drains every shard sequentially. `states` carries one mutable state
+    /// per shard (same order as construction); `handler` fires for every
+    /// event with that shard's context and state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the shard count.
+    pub fn run<S, F>(&mut self, states: &mut [S], handler: &F)
+    where
+        F: Fn(&mut ShardCtx<'_, E>, &mut S, SimTime, E),
+    {
+        assert_eq!(states.len(), self.len(), "one state per shard");
+        while let Some(horizon) = self.horizon() {
+            self.rounds += 1;
+            let mut mail: Vec<Envelope<E>> = Vec::new();
+            for (i, (shard, state)) in self.shards.iter_mut().zip(states.iter_mut()).enumerate() {
+                let mut outbox = Vec::new();
+                let lookahead = self.lookahead;
+                shard.run_until(horizon, |ex, t, ev| {
+                    let mut ctx = ShardCtx {
+                        shard: i,
+                        exec: ex,
+                        outbox: &mut outbox,
+                        lookahead,
+                    };
+                    handler(&mut ctx, state, t, ev);
+                });
+                mail.extend(outbox);
+            }
+            self.deliver(mail);
+        }
+    }
+
+    /// Like [`ShardedExecutor::run`], but each round fans the shards out
+    /// across OS threads (up to `threads`, clamped to the shard count).
+    ///
+    /// The firing sequence is identical to the sequential path: shards only
+    /// touch their own state inside a round, and the barrier delivery order
+    /// is a pure function of simulated time — see the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the shard count or `threads`
+    /// is zero.
+    pub fn run_parallel<S, F>(&mut self, states: &mut [S], handler: &F, threads: usize)
+    where
+        E: Send,
+        S: Send,
+        F: Fn(&mut ShardCtx<'_, E>, &mut S, SimTime, E) + Sync,
+    {
+        assert_eq!(states.len(), self.len(), "one state per shard");
+        assert!(threads > 0, "need at least one worker thread");
+        let threads = threads.min(self.len());
+        let chunk = self.len().div_ceil(threads);
+        while let Some(horizon) = self.horizon() {
+            self.rounds += 1;
+            let lookahead = self.lookahead;
+            // One outbox slot per shard, filled in place so the merge order
+            // below is positional, not completion-order.
+            let mut outboxes: Vec<Vec<Envelope<E>>> = (0..self.len()).map(|_| Vec::new()).collect();
+            std::thread::scope(|scope| {
+                let shard_chunks = self.shards.chunks_mut(chunk);
+                let state_chunks = states.chunks_mut(chunk);
+                let outbox_chunks = outboxes.chunks_mut(chunk);
+                for (ci, ((shards, states), outboxes)) in shard_chunks
+                    .zip(state_chunks)
+                    .zip(outbox_chunks)
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        for (j, ((shard, state), outbox)) in shards
+                            .iter_mut()
+                            .zip(states.iter_mut())
+                            .zip(outboxes.iter_mut())
+                            .enumerate()
+                        {
+                            let i = ci * chunk + j;
+                            shard.run_until(horizon, |ex, t, ev| {
+                                let mut ctx = ShardCtx {
+                                    shard: i,
+                                    exec: ex,
+                                    outbox,
+                                    lookahead,
+                                };
+                                handler(&mut ctx, state, t, ev);
+                            });
+                        }
+                    });
+                }
+            });
+            self.deliver(outboxes.into_iter().flatten().collect());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type QuorumEv = (u64, u8);
+    type FiringLog = Vec<(usize, u64, u64, u8)>;
+
+    const RTT_HALF: SimDuration = SimDuration::from_micros(25);
+    const SHARDS: usize = 4;
+    const COMMITS: u64 = 20;
+
+    /// Replication-shaped handler: shard 0 issues commits, ships to every
+    /// replica shard, replicas ack back, a quorum of 2 releases the next
+    /// commit. All state is per-shard, so the same handler drives both the
+    /// sequential and the parallel path.
+    fn quorum_handler(
+        ctx: &mut ShardCtx<'_, QuorumEv>,
+        state: &mut FiringLog,
+        t: SimTime,
+        ev: QuorumEv,
+    ) {
+        let (lsn, kind) = ev;
+        state.push((ctx.shard(), t.as_nanos(), lsn, kind));
+        match kind {
+            // Primary issues: ship to each replica.
+            0 => {
+                for dst in 1..SHARDS {
+                    ctx.send(dst, t + RTT_HALF, (lsn, 1));
+                }
+            }
+            // Replica applies: ack the primary.
+            1 => ctx.send(0, t + RTT_HALF, (lsn, 2)),
+            // Primary counts acks out of its own firing log; a quorum of 2
+            // issues the next commit.
+            _ => {
+                let acks = state
+                    .iter()
+                    .filter(|&&(_, _, l, k)| l == lsn && k == 2)
+                    .count();
+                if acks == 2 && lsn < COMMITS {
+                    ctx.post(t + SimDuration::from_micros(1), (lsn + 1, 0));
+                }
+            }
+        }
+    }
+
+    fn merged_log(states: Vec<FiringLog>) -> FiringLog {
+        let mut log: FiringLog = states.into_iter().flatten().collect();
+        log.sort_by_key(|&(shard, t, lsn, kind)| (t, shard, lsn, kind));
+        log
+    }
+
+    #[test]
+    fn sequential_and_parallel_runs_are_identical() {
+        let lookahead = RTT_HALF;
+        let mut seq: ShardedExecutor<QuorumEv> = ShardedExecutor::new(SHARDS, lookahead);
+        seq.seed(0, SimTime::ZERO, (1, 0));
+        let mut states: Vec<FiringLog> = (0..SHARDS).map(|_| Vec::new()).collect();
+        seq.run(&mut states, &quorum_handler);
+        let expected = merged_log(states);
+        assert!(!expected.is_empty());
+        assert_eq!(seq.clamped_posts(), 0);
+        assert_eq!(seq.processed(), expected.len() as u64);
+
+        for threads in [1, 2, 4] {
+            let mut par: ShardedExecutor<QuorumEv> = ShardedExecutor::new(SHARDS, lookahead);
+            par.seed(0, SimTime::ZERO, (1, 0));
+            let mut states: Vec<FiringLog> = (0..SHARDS).map(|_| Vec::new()).collect();
+            par.run_parallel(&mut states, &quorum_handler, threads);
+            assert_eq!(
+                merged_log(states),
+                expected,
+                "thread count {threads} diverged"
+            );
+            assert_eq!(par.clamped_posts(), 0);
+            assert_eq!(par.rounds(), seq.rounds());
+        }
+    }
+
+    #[test]
+    fn idle_shards_do_not_stall_the_horizon() {
+        let mut pdes: ShardedExecutor<u8> = ShardedExecutor::new(3, SimDuration::from_nanos(100));
+        pdes.seed(2, SimTime::from_nanos(5), 1);
+        let mut states: Vec<Vec<(usize, u64, u8)>> = vec![Vec::new(); 3];
+        pdes.run(&mut states, &|ctx, state, t, ev| {
+            state.push((ctx.shard(), t.as_nanos(), ev));
+        });
+        assert_eq!(states[2], vec![(2, 5, 1)]);
+        assert!(states[0].is_empty() && states[1].is_empty());
+        assert_eq!(pdes.processed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn under_lookahead_send_panics() {
+        let mut pdes: ShardedExecutor<u8> = ShardedExecutor::new(2, SimDuration::from_micros(10));
+        pdes.seed(0, SimTime::ZERO, 1);
+        pdes.run(&mut [(), ()], &|ctx, _, t, _| {
+            ctx.send(1, t + SimDuration::from_nanos(1), 2);
+        });
+    }
+}

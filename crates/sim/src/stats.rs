@@ -18,6 +18,15 @@ use crate::{SimDuration, SimTime};
 /// `&self` without cloning the sample vector. The first percentile query
 /// after new samples arrive sorts in place; subsequent queries are O(1).
 ///
+/// # Serialization
+///
+/// The serialized form (which flows through `Debug` in this workspace's
+/// offline serde stand-in) is *canonical*: always the sorted sample vector,
+/// never the transient insertion order or the internal sort-cache flag.
+/// Identical sample multisets therefore always serialize to identical
+/// bytes, regardless of recording order or whether a percentile was queried
+/// first — the property the golden-fixture byte diffs in CI rely on.
+///
 /// # Example
 ///
 /// ```rust
@@ -30,7 +39,7 @@ use crate::{SimDuration, SimTime};
 /// assert_eq!(h.percentile(0.5), SimDuration::from_micros(3));
 /// assert_eq!(h.max(), SimDuration::from_micros(100));
 /// ```
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Default, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     samples: RefCell<Vec<u64>>,
     sorted: Cell<bool>,
@@ -108,6 +117,34 @@ impl Histogram {
             .get_mut()
             .extend_from_slice(&other.samples.borrow());
         self.sorted.set(false);
+    }
+
+    /// Rebuilds a histogram from raw nanosecond samples (any order), the
+    /// inverse of [`Histogram::sorted_nanos`] for serialization round-trips.
+    pub fn from_nanos_samples(samples: Vec<u64>) -> Histogram {
+        Histogram {
+            samples: RefCell::new(samples),
+            sorted: Cell::new(false),
+        }
+    }
+
+    /// The canonical (sorted ascending) sample vector, in nanoseconds.
+    pub fn sorted_nanos(&self) -> Vec<u64> {
+        self.ensure_sorted();
+        self.samples.borrow().clone()
+    }
+}
+
+/// Canonical serialized form: the sorted sample vector only. The derived
+/// impl exposed the transient insertion order and the sort-cache flag, so
+/// identical data serialized to different bytes depending on whether a
+/// percentile had been queried first.
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.ensure_sorted();
+        f.debug_struct("Histogram")
+            .field("samples", &*self.samples.borrow())
+            .finish()
     }
 }
 
@@ -340,6 +377,50 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.mean(), SimDuration::from_nanos(2));
+    }
+
+    /// Regression: the serialized form used to depend on whether a
+    /// percentile/Display query had sorted the sample vector before
+    /// serialization. The canonical form is insertion-order- and
+    /// query-history-independent.
+    #[test]
+    fn histogram_serialization_is_byte_stable() {
+        let mut by_insertion = Histogram::new();
+        for ns in [5u64, 1, 3, 2, 4] {
+            by_insertion.record(SimDuration::from_nanos(ns));
+        }
+        let mut queried_first = Histogram::new();
+        for ns in [4u64, 2, 5, 1, 3] {
+            queried_first.record(SimDuration::from_nanos(ns));
+        }
+        // Force the lazy sort on one of the two before serializing.
+        let _ = queried_first.percentile(0.5);
+        let a = serde_json::to_string(&by_insertion).unwrap();
+        let b = serde_json::to_string(&queried_first).unwrap();
+        assert_eq!(a, b, "identical data must serialize identically");
+        // Serializing never perturbs later serializations either.
+        assert_eq!(a, serde_json::to_string(&by_insertion).unwrap());
+        assert_eq!(a, r#"{"samples":[1,2,3,4,5]}"#);
+    }
+
+    /// Round-trip through the canonical sample vector reproduces both the
+    /// serialized bytes and every statistic.
+    #[test]
+    fn histogram_round_trips_through_canonical_form() {
+        let mut h = Histogram::new();
+        for ns in [99u64, 7, 7, 1_000_000, 0] {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        let restored = Histogram::from_nanos_samples(h.sorted_nanos());
+        assert_eq!(
+            serde_json::to_string(&h).unwrap(),
+            serde_json::to_string(&restored).unwrap()
+        );
+        assert_eq!(h.len(), restored.len());
+        assert_eq!(h.mean(), restored.mean());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), restored.percentile(q));
+        }
     }
 
     #[test]

@@ -87,13 +87,28 @@ impl Sub<SimDuration> for SimTime {
 
 impl Sub for SimTime {
     type Output = SimDuration;
-    /// Returns the span between two instants.
+    /// Returns the span between two instants, saturating to zero if `rhs`
+    /// is later than `self`.
+    ///
+    /// Subtracting a later instant is almost always a latency-accounting
+    /// bug (an `end - start` with the operands swapped, or a completion
+    /// recorded before its submission), so debug builds assert. Release
+    /// builds used to *wrap*, silently producing ~`u64::MAX`-nanosecond
+    /// "latencies" that poisoned histograms; they now saturate to zero.
+    /// Call sites that legitimately race an uncertain ordering should use
+    /// [`SimTime::saturating_since`], which documents the intent and skips
+    /// the debug assertion.
     ///
     /// # Panics
     ///
     /// Panics in debug builds if `rhs` is later than `self`.
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0 - rhs.0)
+        debug_assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {rhs:?} is later than {self:?}; \
+             use saturating_since for order-uncertain spans"
+        );
+        SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
 
@@ -287,6 +302,28 @@ mod tests {
             SimDuration::from_micros_f64(1.5),
             SimDuration::from_nanos(1_500)
         );
+    }
+
+    /// Regression: `SimTime - SimTime` with a later right-hand side used to
+    /// wrap around in release builds, yielding ~u64::MAX-nanosecond spans.
+    /// It now saturates to zero (and asserts in debug builds, where the
+    /// companion `#[should_panic]` test below pins the assertion).
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn sub_saturates_instead_of_wrapping_in_release() {
+        let early = SimTime::from_nanos(10);
+        let late = SimTime::from_nanos(30);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(late - early, SimDuration::from_nanos(20));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "SimTime subtraction underflow")]
+    fn sub_underflow_asserts_in_debug() {
+        let early = SimTime::from_nanos(10);
+        let late = SimTime::from_nanos(30);
+        let _ = early - late;
     }
 
     #[test]

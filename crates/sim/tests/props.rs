@@ -47,6 +47,27 @@ proptest! {
         }
     }
 
+    /// The closed-form `Server::schedule` is byte-equivalent to the legacy
+    /// event-driven two-event chain it replaced, for every observable: the
+    /// returned span, the free instant, busy accounting, and the serve count.
+    #[test]
+    fn closed_form_schedule_matches_event_driven_oracle(
+        ops in prop::collection::vec((0u64..1_000_000, 0u64..50_000), 1..200)
+    ) {
+        let mut fast = Server::new();
+        let mut oracle = Server::new();
+        for (arrival, service) in ops {
+            let arrival = SimTime::from_nanos(arrival);
+            let service = SimDuration::from_nanos(service);
+            let a = fast.schedule(arrival, service);
+            let b = oracle.schedule_via_events(arrival, service);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(fast.free_at(), oracle.free_at());
+            prop_assert_eq!(fast.busy_total(), oracle.busy_total());
+            prop_assert_eq!(fast.served(), oracle.served());
+        }
+    }
+
     /// Kernel equivalence for banks: the event-driven `MultiServer` picks the
     /// same earliest-free server (first one on ties) as the legacy arithmetic.
     #[test]

@@ -447,6 +447,15 @@ impl Ssd {
         slots_idle.max(gc_idle)
     }
 
+    /// How many background GC events were posted at instants already in the
+    /// past and clamped to the calendar's current time. Always zero on a
+    /// healthy device: GC steps chain strictly forward from the step that
+    /// scheduled them. Bench suites assert on this to catch scheduling bugs
+    /// that the clamp would otherwise paper over.
+    pub fn gc_clamped_posts(&self) -> u64 {
+        self.gc_events.clamped_posts()
+    }
+
     /// Enables or disables the device trace ring.
     pub fn set_tracing(&mut self, enabled: bool) {
         self.trace.set_enabled(enabled);
@@ -1225,6 +1234,7 @@ mod tests {
         let lats = churn(&mut ssd, 600);
         assert!(!lats.is_empty());
         let idle = ssd.quiesce_background();
+        assert_eq!(ssd.gc_clamped_posts(), 0, "GC chained a step into the past");
         let stats = ssd.ftl().stats();
         assert!(stats.erases > 0, "background GC never erased a block");
         let (started, _) = ssd.ftl().gc_job_counts();

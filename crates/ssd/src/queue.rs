@@ -497,6 +497,12 @@ impl NvmeSsd {
             }
         };
         exec.run(|ex, t, ev| drive(self, ex, t, ev));
+        debug_assert_eq!(
+            exec.clamped_posts(),
+            0,
+            "closed-loop drive posted events into the past: every completion \
+             and refill is scheduled at or after the instant that caused it"
+        );
         report
     }
 }
