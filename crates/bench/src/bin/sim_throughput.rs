@@ -1,11 +1,17 @@
 //! Kernel throughput bench: events/sec of the rebuilt wheel kernel vs the
-//! legacy binary-heap oracle across four workload-shaped event mixes.
+//! legacy binary-heap oracle across four workload-shaped event mixes, plus
+//! the sharded conservative-PDES executor on the `repl-sharded` (real
+//! replica cluster) and `device-sharded` (die-placed tenant/GC) mixes
+//! under a lock-step baseline, the adaptive round-batching engine, and a
+//! parallel thread sweep.
 //!
 //! Flags:
 //!
 //! - `--write` — refresh `BENCH_sim_throughput.json` at the repo root;
 //! - `--check` — compare this run's speedup ratios against the tracked
-//!   baseline and exit non-zero on a >20% regression.
+//!   baseline and exit non-zero on a >20% regression;
+//! - `--gate-sharded` — run only the sharded mixes and enforce the
+//!   parallel-beats-sequential floors (the fast CI gate).
 //!
 //! The `json:` line carries only deterministic fields (events, digests,
 //! final virtual instants) so CI can byte-diff two runs; wall-clock rates
@@ -28,24 +34,41 @@ const REGRESSION_FLOOR: f64 = 0.8;
 /// debug builds measure the assertion machinery, not the kernel).
 const REPL_FLOOR: f64 = 3.0;
 
+/// The parallel-beats-sequential gate: `sharded-par4` may not regress
+/// below the lock-step `sharded-seq` baseline on the repl-sharded mix.
+/// The 20% margin absorbs timer noise on hosts where the thread pool
+/// clamps to one worker and the two drives are algorithmically identical;
+/// a genuine parallel-path regression (accidental serialization, barrier
+/// livelock) lands far below it.
+const SHARDED_PARITY_FLOOR: f64 = 0.8;
+
+/// The round-batching acceptance floor: the adaptive sequential engine
+/// must beat the lock-step baseline by at least this factor on the
+/// device-sharded mix. Both sides are single-threaded, so this ratio
+/// transfers across machines regardless of core count; the tracked BENCH
+/// file records the full (~1.8x) win, the floor leaves room for noisy
+/// shared runners.
+const DEVICE_ADAPTIVE_FLOOR: f64 = 1.35;
+
+/// Speedup entries whose value depends on the host's core count (the
+/// parallel drives clamp to `available_parallelism`), so a baseline
+/// recorded on one machine must not gate another. They are covered by the
+/// absolute floors instead of the baseline band.
+const SHAPE_DEPENDENT: [&str; 2] = ["repl-sharded", "device-sharded"];
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let write = args.iter().any(|a| a == "--write");
     let check = args.iter().any(|a| a == "--check");
+    let gate_only = args.iter().any(|a| a == "--gate-sharded");
 
-    let report = sim_throughput::run();
-    print_report(&report);
-
-    let repl = ratio_of(&report.speedups, "repl").expect("repl mix always runs");
-    if cfg!(debug_assertions) {
-        eprintln!("(debug build: skipping the {REPL_FLOOR}x repl speedup floor)");
+    let report = if gate_only {
+        sim_throughput::run_sharded_only()
     } else {
-        assert!(
-            repl >= REPL_FLOOR,
-            "rebuilt kernel is only {repl:.2}x the legacy kernel on the repl mix \
-             (floor is {REPL_FLOOR}x)"
-        );
-    }
+        sim_throughput::run()
+    };
+    print_report(&report);
+    enforce_floors(&report, !gate_only);
 
     if write {
         std::fs::write(BENCH_PATH, bench_file(&report)).expect("write BENCH_sim_throughput.json");
@@ -56,6 +79,9 @@ fn main() {
             std::fs::read_to_string(BENCH_PATH).expect("read tracked BENCH_sim_throughput.json");
         let mut failures = Vec::new();
         for s in &report.speedups {
+            if SHAPE_DEPENDENT.contains(&s.mix.as_str()) {
+                continue;
+            }
             let Some(base) = baseline_ratio(&baseline, &s.mix) else {
                 failures.push(format!("mix {:?} missing from baseline", s.mix));
                 continue;
@@ -76,11 +102,47 @@ fn main() {
     }
 }
 
+/// Enforces the absolute speedup floors (release builds only — debug
+/// builds measure the assertion machinery, not the kernel). `full` is
+/// false under `--gate-sharded`, where the flat mixes did not run.
+fn enforce_floors(report: &Report, full: bool) {
+    if cfg!(debug_assertions) {
+        eprintln!("(debug build: skipping the absolute speedup floors)");
+        return;
+    }
+    if full {
+        let repl = ratio_of(&report.speedups, "repl").expect("repl mix always runs");
+        assert!(
+            repl >= REPL_FLOOR,
+            "rebuilt kernel is only {repl:.2}x the legacy kernel on the repl mix \
+             (floor is {REPL_FLOOR}x)"
+        );
+    }
+    let parity = ratio_of(&report.speedups, "repl-sharded").expect("repl-sharded mix always runs");
+    assert!(
+        parity >= SHARDED_PARITY_FLOOR,
+        "sharded-par4 fell to {parity:.2}x of sharded-seq on the repl-sharded mix \
+         (floor is {SHARDED_PARITY_FLOOR}x): parallel regressed below sequential"
+    );
+    let batching = ratio_of(&report.speedups, "device-sharded-adaptive")
+        .expect("device-sharded mix always runs");
+    assert!(
+        batching >= DEVICE_ADAPTIVE_FLOOR,
+        "adaptive round batching is only {batching:.2}x the lock-step baseline on the \
+         device-sharded mix (floor is {DEVICE_ADAPTIVE_FLOOR}x)"
+    );
+    eprintln!(
+        "sharded floors passed: repl-sharded par4/seq {parity:.2}x, \
+         device-sharded adaptive/seq {batching:.2}x"
+    );
+}
+
 /// Prints the human tables and the deterministic `json:` line.
 fn print_report(report: &Report) {
     println!(
         "Event-kernel throughput: rebuilt (wheel + closed-form) vs legacy (heap + event-chain)\n"
     );
+    println!("host parallelism: {}\n", host_parallelism());
     let rows: Vec<Vec<String>> = report
         .perf
         .iter()
@@ -105,11 +167,20 @@ fn print_report(report: &Report) {
         .iter()
         .map(|s| vec![s.mix.clone(), format!("{:.2}x", s.ratio)])
         .collect();
-    twob_bench::print_table(&["mix", "rebuilt/legacy"], &ratios);
+    twob_bench::print_table(&["mix", "speedup"], &ratios);
     println!(
         "\njson: {}",
         serde_json::to_string(&report.det).expect("serialize deterministic rows")
     );
+}
+
+/// Worker threads the host can actually run — recorded in the BENCH file
+/// so a reader can tell whether the parallel rows ran threaded or clamped
+/// to the sequential loop.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Renders the tracked BENCH file: perf rows plus speedup ratios.
@@ -118,11 +189,13 @@ fn bench_file(report: &Report) -> String {
     #[allow(dead_code)] // fields are read through Debug by the serializer
     struct BenchFile<'a> {
         schema: &'a str,
+        host_parallelism: usize,
         rows: &'a [sim_throughput::PerfRow],
         speedups: &'a [Speedup],
     }
     let mut text = serde_json::to_string(&BenchFile {
-        schema: "sim-throughput-v1",
+        schema: "sim-throughput-v2",
+        host_parallelism: host_parallelism(),
         rows: &report.perf,
         speedups: &report.speedups,
     })

@@ -30,7 +30,7 @@
 //! ```
 
 use twob_ftl::Lba;
-use twob_sim::{Executor, SimTime};
+use twob_sim::{Executor, LatencyBreakdown, SimTime};
 use twob_ssd::BlockDevice;
 
 use crate::{EntryId, TwoBError, TwoBSsd};
@@ -98,6 +98,10 @@ pub struct IoCompletion {
     pub data: Option<Vec<u8>>,
     /// The device error, if the operation failed.
     pub error: Option<TwoBError>,
+    /// Per-stage latency attribution for block-path operations (zero for
+    /// byte-path operations, which commit through MMIO + BA-buffer DRAM
+    /// and never queue on the die/channel servers).
+    pub breakdown: LatencyBreakdown,
 }
 
 /// Calendar events: a submitted operation starting, or its completion
@@ -173,23 +177,7 @@ impl IoCalendar {
         let before = completions.len();
         self.exec.run(|ex, t, ev| match ev {
             IoEvent::Start { id, submitted, op } => {
-                let (outcome, data) = dispatch(dev, t, op);
-                let completion = match outcome {
-                    Ok(complete_at) => IoCompletion {
-                        id,
-                        submitted,
-                        complete_at,
-                        data,
-                        error: None,
-                    },
-                    Err(error) => IoCompletion {
-                        id,
-                        submitted,
-                        complete_at: t,
-                        data: None,
-                        error: Some(error),
-                    },
-                };
+                let completion = dispatch_completion(dev, t, id, submitted, op);
                 ex.post(completion.complete_at, IoEvent::Done { completion });
             }
             IoEvent::Done { completion } => completions.push(completion),
@@ -204,19 +192,32 @@ impl IoCalendar {
     }
 }
 
-/// Runs one operation against the device at instant `t`.
-fn dispatch(
+/// Runs one operation against the device at instant `t` and assembles its
+/// completion record. Shared by the single-calendar [`IoCalendar`] and the
+/// die-placed [`ShardedIoCalendar`](crate::ShardedIoCalendar), so both
+/// price operations — and drive background GC/dump chains — identically.
+pub(crate) fn dispatch_completion(
     dev: &mut TwoBSsd,
     t: SimTime,
+    id: u64,
+    submitted: SimTime,
     op: IoOp,
-) -> (Result<SimTime, TwoBError>, Option<Vec<u8>>) {
+) -> IoCompletion {
     // Background GC steps and buffer dumps due by `t` fire first, so they
     // contend with this operation exactly as concurrent hardware would —
     // including across pure byte-path operations that never reach the SSD.
     dev.drive_background(t);
-    match op {
-        IoOp::BaFlush { eid } => (dev.ba_flush(t, eid).map(|c| c.complete_at), None),
-        IoOp::BaSync { eid } => (dev.ba_sync(t, eid).map(|c| c.complete_at), None),
+    let (outcome, data, breakdown) = match op {
+        IoOp::BaFlush { eid } => (
+            dev.ba_flush(t, eid).map(|c| c.complete_at),
+            None,
+            LatencyBreakdown::ZERO,
+        ),
+        IoOp::BaSync { eid } => (
+            dev.ba_sync(t, eid).map(|c| c.complete_at),
+            None,
+            LatencyBreakdown::ZERO,
+        ),
         IoOp::BaSyncRange {
             eid,
             rel_offset,
@@ -225,24 +226,43 @@ fn dispatch(
             dev.ba_sync_range(t, eid, rel_offset, len)
                 .map(|c| c.complete_at),
             None,
+            LatencyBreakdown::ZERO,
         ),
         IoOp::BaReadDma {
             eid,
             rel_offset,
             len,
         } => match dev.ba_read_dma(t, eid, rel_offset, len) {
-            Ok(out) => (Ok(out.complete_at), Some(out.data)),
-            Err(e) => (Err(e), None),
+            Ok(out) => (Ok(out.complete_at), Some(out.data), LatencyBreakdown::ZERO),
+            Err(e) => (Err(e), None, LatencyBreakdown::ZERO),
         },
         IoOp::BlockRead { lba, pages } => match dev.read_pages(t, lba, pages) {
-            Ok(read) => (Ok(read.complete_at), Some(read.data)),
-            Err(e) => (Err(e.into()), None),
+            Ok(read) => (Ok(read.complete_at), Some(read.data), read.breakdown),
+            Err(e) => (Err(e.into()), None, LatencyBreakdown::ZERO),
         },
-        IoOp::BlockWrite { lba, data } => (
-            dev.write_pages(t, lba, &data).map_err(TwoBError::from),
-            None,
-        ),
-        IoOp::BlockFlush => (Ok(dev.flush(t)), None),
+        IoOp::BlockWrite { lba, data } => match dev.write_pages(t, lba, &data) {
+            Ok(ack) => (Ok(ack), None, dev.ssd().last_breakdown()),
+            Err(e) => (Err(e.into()), None, LatencyBreakdown::ZERO),
+        },
+        IoOp::BlockFlush => (Ok(dev.flush(t)), None, LatencyBreakdown::ZERO),
+    };
+    match outcome {
+        Ok(complete_at) => IoCompletion {
+            id,
+            submitted,
+            complete_at,
+            data,
+            error: None,
+            breakdown,
+        },
+        Err(error) => IoCompletion {
+            id,
+            submitted,
+            complete_at: t,
+            data: None,
+            error: Some(error),
+            breakdown: LatencyBreakdown::ZERO,
+        },
     }
 }
 

@@ -53,6 +53,7 @@ mod error;
 mod mapping;
 mod pin;
 mod recovery;
+mod sharded;
 mod shared;
 pub mod spec;
 
@@ -66,5 +67,6 @@ pub use error::TwoBError;
 pub use mapping::{EntryId, MappingEntry, MappingTable};
 pub use pin::{PinEntry, PinError, PinState, PinTable, TenantId};
 pub use recovery::{DumpOutcome, RecoveryManager, RecoveryReport};
+pub use sharded::{GroupPlacement, ShardedIoCalendar};
 pub use shared::SharedTwoBSsd;
 pub use spec::TwoBSpec;

@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod config;
 mod failover;
 mod link;
 mod set;
 
+pub use cluster::{ClusterConfig, ClusterReport, ShardedReplCluster};
 pub use config::{CommitPolicy, ReplConfig, ShipScheme};
 pub use failover::{failover_sweep, run_failover, FailoverReport, ReplSweepReport};
 pub use link::{NetLink, NetLinkConfig};

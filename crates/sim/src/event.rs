@@ -320,6 +320,21 @@ impl<E, Q: Calendar<E>> Executor<E, Q> {
         }
         self.now = self.now.max(until);
     }
+
+    /// Advances the clock to `at` without firing anything, clamped so time
+    /// never runs backwards. The conservative sharded executor uses this to
+    /// record how far a shard's horizon was proven safe even when its
+    /// calendar ran dry earlier.
+    ///
+    /// Debug builds assert that no pending event fires strictly before `at`
+    /// — skipping over a scheduled event would violate time order.
+    pub fn advance_to(&mut self, at: SimTime) {
+        debug_assert!(
+            self.queue.peek_time().is_none_or(|t| t >= at),
+            "advance_to({at}) would skip over a pending event"
+        );
+        self.now = self.now.max(at);
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 //! `run_until` boundary logic.
 
 use proptest::prelude::*;
-use twob_sim::{Calendar, Executor, HeapQueue, SimDuration, SimTime, WheelQueue};
+use twob_sim::{
+    Calendar, Executor, HeapQueue, ShardCtx, ShardedExecutor, SimDuration, SimTime, WheelQueue,
+};
 
 /// Drives one random event program through an executor backed by `Q` and
 /// returns the full `(time, tag)` firing sequence plus the kernel counters.
@@ -75,7 +77,95 @@ fn replay_ops<Q: Calendar<u64>>(ops: &[(bool, u64)]) -> Vec<Option<(u64, u64)>> 
     out
 }
 
+type ShardLog = Vec<(u64, u32)>;
+
+/// A handler whose behaviour is a pure function of `(tag, t, shard count)`:
+/// tags chain local posts, same-instant tie pairs, and lookahead-respecting
+/// cross-shard sends (including self-sends), shrinking (`tag >> 2`) so every
+/// program terminates.
+fn sharded_program_handler(
+    n: usize,
+    lookahead: SimDuration,
+) -> impl Fn(&mut ShardCtx<'_, u32>, &mut ShardLog, SimTime, u32) {
+    move |ctx, state, t, tag| {
+        state.push((t.as_nanos(), tag));
+        let gap = SimDuration::from_nanos((u64::from(tag) % 509) + 1);
+        let child = tag >> 2;
+        match tag % 5 {
+            1 => ctx.post(t + gap, child),
+            2 => ctx.send((tag as usize / 7) % n, t + lookahead + gap, child),
+            3 => {
+                ctx.post(t + gap, child);
+                ctx.post(t + gap, child | 1);
+            }
+            4 => {
+                ctx.post(t + gap, child);
+                ctx.send((tag as usize / 3) % n, t + lookahead + gap, child | 1);
+            }
+            _ => {}
+        }
+    }
+}
+
 proptest! {
+    /// The adaptive sharded schedule is byte-identical between sequential
+    /// and parallel execution across thread counts (same per-shard firing
+    /// logs, same round count), and the fine-grained lock-step oracle fires
+    /// the same per-shard event multisets in no fewer rounds.
+    #[test]
+    fn sharded_schedules_agree_across_modes_and_thread_counts(
+        n in 2usize..5,
+        lookahead_ns in 100u64..5_000,
+        seeds in prop::collection::vec((0usize..4, 0u64..20_000, 1u32..10_000), 1..24),
+    ) {
+        let lookahead = SimDuration::from_nanos(lookahead_ns);
+        let handler = sharded_program_handler(n, lookahead);
+        let drive = |mode: u8| {
+            let mut pdes: ShardedExecutor<u32> = ShardedExecutor::new(n, lookahead);
+            for &(s, at, tag) in &seeds {
+                pdes.seed(s % n, SimTime::from_nanos(at), tag);
+            }
+            let mut states: Vec<ShardLog> = vec![Vec::new(); n];
+            match mode {
+                0 => pdes.run(&mut states, &handler),
+                1 => pdes.run_parallel(&mut states, &handler, 2),
+                2 => pdes.run_parallel(&mut states, &handler, 4),
+                _ => pdes.run_lockstep(&mut states, &handler),
+            }
+            (states, pdes.rounds(), pdes.processed(), pdes.clamped_posts())
+        };
+
+        let (seq_states, seq_rounds, seq_processed, seq_clamped) = drive(0);
+        prop_assert_eq!(seq_clamped, 0, "adaptive sequential run clamped");
+        for mode in [1u8, 2] {
+            let (states, rounds, processed, clamped) = drive(mode);
+            prop_assert_eq!(&states, &seq_states, "thread mode {} diverged", mode);
+            prop_assert_eq!(rounds, seq_rounds);
+            prop_assert_eq!(processed, seq_processed);
+            prop_assert_eq!(clamped, 0, "parallel run clamped");
+        }
+
+        // The lock-step oracle may order same-instant events differently
+        // (they are causally unrelated), so compare canonically sorted
+        // per-shard logs, and never in fewer rounds than adaptive.
+        let (lock_states, lock_rounds, lock_processed, lock_clamped) = drive(3);
+        prop_assert_eq!(lock_clamped, 0, "lock-step oracle clamped");
+        prop_assert_eq!(lock_processed, seq_processed);
+        prop_assert!(
+            seq_rounds <= lock_rounds,
+            "adaptive used more rounds ({} vs {})",
+            seq_rounds,
+            lock_rounds
+        );
+        let canon = |mut states: Vec<ShardLog>| {
+            for log in &mut states {
+                log.sort_unstable();
+            }
+            states
+        };
+        prop_assert_eq!(canon(lock_states), canon(seq_states));
+    }
+
     /// The wheel-backed executor and the binary-heap oracle fire identical
     /// `(time, tag)` sequences for arbitrary chained event programs cut at
     /// arbitrary `run_until` boundaries.

@@ -199,6 +199,47 @@ impl SsdConfig {
         self
     }
 
+    /// One die-group slice of this profile for sharded device simulation:
+    /// divides the channel/way parallelism into `groups` equal, independent
+    /// device slices (channel-first, falling back to splitting ways), each
+    /// keeping the full timing calibration. A slice models the dies one
+    /// shard owns; slices share nothing, which is exactly the conservative
+    /// PDES decomposition boundary.
+    ///
+    /// Device-wide resources scale with the slice: the write cache, the
+    /// recovery dump reserve, and the GC watermarks each get `1/groups` of
+    /// the whole (floored at their respective minima), so a slice's
+    /// free-block pressure matches its share of the full array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero or does not evenly divide the die count.
+    #[must_use]
+    pub fn die_slice(mut self, groups: u32) -> Self {
+        assert!(groups > 0, "need at least one die group");
+        let dies = self.geometry.channels * self.geometry.ways_per_channel;
+        assert!(
+            dies.is_multiple_of(groups),
+            "{groups} groups do not evenly divide {dies} dies"
+        );
+        let per_group = dies / groups;
+        let channels = self.geometry.channels.min(per_group);
+        assert!(
+            per_group.is_multiple_of(channels),
+            "cannot slice {dies} dies channel-first into {groups} groups"
+        );
+        self.geometry.channels = channels;
+        self.geometry.ways_per_channel = per_group / channels;
+        self.write_cache_pages = (self.write_cache_pages / groups).max(1);
+        // Floor of 2: even a thin slice must still hold a full recovery
+        // dump (BA-buffer + header) in its share of the reserve.
+        self.ftl.reserved_blocks = (self.ftl.reserved_blocks / groups).max(2);
+        self.ftl.gc_low_watermark = (self.ftl.gc_low_watermark / groups).max(2);
+        self.ftl.gc_high_watermark =
+            (self.ftl.gc_high_watermark / groups).max(self.ftl.gc_low_watermark);
+        self
+    }
+
     /// Switches the device to event-driven background GC with the given
     /// foreground-priority policy.
     #[must_use]
