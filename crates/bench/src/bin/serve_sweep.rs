@@ -1,0 +1,133 @@
+//! Serve sweep: offered-load ladder for BA-WAL vs block-WAL commits on
+//! the open-loop serving stack, reporting each scheme's knee — the
+//! highest offered rate that sustained the p99 SLO without shedding —
+//! plus the fleet-scale sharded-agreement digest (1024 tenants across 8
+//! die-group shards, lock-step ≡ adaptive ≡ parallel).
+//!
+//! Flags:
+//!
+//! - `--write` — refresh `BENCH_serve_sweep.json` at the repo root;
+//! - `--gate-serve` — enforce the serving floor: the BA knee must sit at
+//!   or above the block knee (the paper's latency gap, restated as
+//!   sustainable serving capacity), and every sharded drive must agree.
+//!
+//! Everything here is virtual-time measurement, so the `json:` line —
+//! rows, knees, and the sharded digest — is byte-stable across runs and
+//! machines, and CI byte-diffs two invocations.
+
+use serde::Serialize;
+use twob_bench::serve_sweep::{
+    self, ServeRow, ShardedAgreement, SHARDED_GROUPS, SHARDED_RATE, SHARDED_TENANTS, SLO_P99_US,
+    TENANTS,
+};
+use twob_workloads::WalScheme;
+
+/// Tracked baseline location, resolved relative to this crate so the
+/// binary works from any working directory.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve_sweep.json");
+
+/// Everything the sweep determined, all of it deterministic.
+#[derive(Debug, Serialize)]
+#[allow(dead_code)] // fields are read through Debug by the serializer
+struct Outcome {
+    schema: &'static str,
+    tenants: u16,
+    slo_p99_us: f64,
+    rows: Vec<ServeRow>,
+    ba_knee: Option<u64>,
+    block_knee: Option<u64>,
+    sharded: ShardedAgreement,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let write = args.iter().any(|a| a == "--write");
+    let gate = args.iter().any(|a| a == "--gate-serve");
+
+    let rows = serve_sweep::run();
+    let ba_knee = serve_sweep::knee(&rows, WalScheme::Ba);
+    let block_knee = serve_sweep::knee(&rows, WalScheme::Block);
+    let sharded = serve_sweep::sharded_agreement(SHARDED_TENANTS, SHARDED_GROUPS, SHARDED_RATE);
+    let outcome = Outcome {
+        schema: "serve-sweep-v1",
+        tenants: TENANTS,
+        slo_p99_us: SLO_P99_US,
+        rows,
+        ba_knee,
+        block_knee,
+        sharded,
+    };
+    print_outcome(&outcome);
+
+    if gate {
+        let ba = outcome.ba_knee.expect("ba sustained no rung at all");
+        let block = outcome.block_knee.expect("block sustained no rung at all");
+        assert!(
+            ba >= block,
+            "serving gate failed: ba knee {ba} ops/s/tenant fell below block knee {block}"
+        );
+        eprintln!(
+            "serve gate passed: ba knee {ba} >= block knee {block} ops/s/tenant, \
+             {} sharded drives digest-equal at {} tenants",
+            outcome.sharded.drives.len(),
+            outcome.sharded.tenants
+        );
+    }
+    if write {
+        let mut text = serde_json::to_string(&outcome).expect("serialize bench file");
+        text.push('\n');
+        std::fs::write(BENCH_PATH, text).expect("write BENCH_serve_sweep.json");
+        eprintln!("wrote {BENCH_PATH}");
+    }
+}
+
+/// Prints the human table, the knees, the sharded-agreement line, and the
+/// deterministic `json:` line.
+fn print_outcome(outcome: &Outcome) {
+    println!(
+        "Serve sweep: {} tenants, Poisson arrivals, p99 SLO {} us\n",
+        outcome.tenants, outcome.slo_p99_us
+    );
+    let rows: Vec<Vec<String>> = outcome
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                r.rate_per_tenant.to_string(),
+                r.offered.to_string(),
+                r.admitted.to_string(),
+                r.deferred.to_string(),
+                r.shed.to_string(),
+                format!("{:.2}", r.p50_us),
+                format!("{:.2}", r.p99_us),
+                format!("{:.2}", r.p999_us),
+                if r.slo_ok { "met" } else { "MISSED" }.to_string(),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &[
+            "scheme", "rate/t", "offered", "admitted", "deferred", "shed", "p50 us", "p99 us",
+            "p999 us", "slo",
+        ],
+        &rows,
+    );
+    let show = |k: Option<u64>| k.map_or("none".to_string(), |r| format!("{r} ops/s/tenant"));
+    println!(
+        "\nknee (max sustainable offered load): ba {}, block {}",
+        show(outcome.ba_knee),
+        show(outcome.block_knee)
+    );
+    println!(
+        "sharded agreement: {} tenants x {} groups, drives [{}] all at digest {}",
+        outcome.sharded.tenants,
+        outcome.sharded.groups,
+        outcome.sharded.drives.join(", "),
+        outcome.sharded.digest
+    );
+    println!(
+        "\njson: {}",
+        serde_json::to_string(outcome).expect("serialize outcome")
+    );
+}

@@ -18,6 +18,7 @@
 //! | QD extension of Fig 8 | [`mod@qd_sweep`] | `qd_sweep` |
 //! | GC interference study | [`mod@gc_interference`] | `gc_interference` |
 //! | Multi-tenant sweep of §V co-location | [`mod@tenant_sweep`] | `tenant_sweep` |
+//! | Open-loop serving knee (beyond the paper) | [`mod@serve_sweep`] | `serve_sweep` |
 //! | Replication sweep (beyond the paper) | [`mod@repl_sweep`] | `repl_sweep` |
 //! | Kernel throughput (engine, not model) | [`mod@sim_throughput`] | `sim_throughput` |
 //!
@@ -36,6 +37,7 @@ pub mod fig9;
 pub mod gc_interference;
 pub mod qd_sweep;
 pub mod repl_sweep;
+pub mod serve_sweep;
 pub mod sim_throughput;
 pub mod table1;
 pub mod tenant_sweep;

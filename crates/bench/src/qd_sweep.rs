@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use twob_ftl::Lba;
 use twob_sim::SimTime;
 use twob_ssd::{NvmeOp, NvmeSsd, QueueConfig, Ssd, SsdConfig};
-use twob_workloads::fio;
+use twob_workloads::{fio, ServiceDriver};
 
 /// One (device, request size, queue depth) measurement of sequential reads.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,7 +61,7 @@ pub fn read_row(device: &str, cfg: SsdConfig, size: u64, qd: usize) -> QdRow {
     }
     let start = ssd.flush(t);
     let mut dev = NvmeSsd::new(ssd, QueueConfig::new(1, qd));
-    let report = dev.run_closed_loop(start, TOTAL_OPS, |i| {
+    let report = ServiceDriver::run_nvme(&mut dev, start, TOTAL_OPS, |i| {
         (
             0,
             NvmeOp::Read {

@@ -23,7 +23,7 @@
 use serde::{Deserialize, Serialize};
 use twob_core::{TwoBSpec, TwoBSsd};
 use twob_ssd::SsdConfig;
-use twob_workloads::{EngineKind, TenantPool, TenantPoolConfig, WalScheme};
+use twob_workloads::{EngineKind, ServiceDriver, TenantPool, TenantPoolConfig, WalScheme};
 
 /// Tenant counts the sweep visits.
 pub const TENANT_COUNTS: [u16; 4] = [1, 4, 16, 64];
@@ -93,7 +93,7 @@ fn pool_config(tenants: u16, scheme: WalScheme) -> TenantPoolConfig {
 pub fn cell(tenants: u16, scheme: WalScheme) -> Row {
     let mut pool =
         TenantPool::new(device(), pool_config(tenants, scheme)).expect("valid sweep cell");
-    let report = pool.run().expect("sweep cell runs");
+    let report = ServiceDriver::run_sessions(&mut pool).expect("sweep cell runs");
     Row {
         tenants: report.tenants,
         scheme: report.scheme,

@@ -72,3 +72,10 @@ fn repl_sweep_json_is_byte_identical_to_capture() {
     let json = serde_json::to_string(&rows).expect("serialize repl sweep");
     assert_matches_golden("repl_sweep", &json);
 }
+
+#[test]
+fn serve_sweep_json_is_byte_identical_to_capture() {
+    let rows = twob_bench::serve_sweep::run();
+    let json = serde_json::to_string(&rows).expect("serialize serve sweep");
+    assert_matches_golden("serve_sweep", &json);
+}

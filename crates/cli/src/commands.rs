@@ -39,6 +39,13 @@ subcommands:
            --seed S --ops N [--json]     N mixed-engine tenants share one
                                          2B-SSD; per-tenant commit latency
                                          under BA-WAL vs block-WAL
+  serve    --tenants N
+           --arrival poisson|burst|diurnal
+           --rate OPS_PER_TENANT_PER_SEC
+           --slo-p99-us T --seed S [--json] open-loop serving: per-tenant
+                                         arrival streams with admission
+                                         control and SLO tracking, BA-WAL
+                                         vs block-WAL on one device
   repl     --replicas N --mode async|sync|semisync:K
            --rtt-us R --engine pg|rocks|redis
            --ship ba|block --seed S
@@ -72,6 +79,7 @@ pub fn dispatch(parsed: &Parsed) -> CliResult {
         "wal" => wal(parsed),
         "ycsb" => ycsb(parsed),
         "tenants" => tenants(parsed),
+        "serve" => serve(parsed),
         "repl" => repl(parsed),
         "replay" => replay(parsed),
         "crash-demo" => crash_demo(),
@@ -352,7 +360,7 @@ fn wal(parsed: &Parsed) -> CliResult {
 fn ycsb(parsed: &Parsed) -> CliResult {
     use twob_db::{EngineCosts, MiniRocks};
     use twob_sim::SimRng;
-    use twob_workloads::{ClientPool, ClosedLoopPool, YcsbConfig, YcsbOp, YcsbWorkload};
+    use twob_workloads::{ClientPool, ServiceDriver, YcsbConfig, YcsbOp, YcsbWorkload};
 
     let log = parsed.str_or("log", "twob");
     let ops = parsed.u64_or("ops", 10_000)?;
@@ -387,18 +395,18 @@ fn ycsb(parsed: &Parsed) -> CliResult {
     } else {
         // Closed loop: each client keeps `qd` ops outstanding on the
         // event calendar.
-        let pool = ClosedLoopPool::new(8, qd);
         let mut failure = None;
-        let report = pool.run(start, ops, |_, at| match wl.next_op(&mut rng) {
-            YcsbOp::Read { key } => db.get(at, &key).0,
-            YcsbOp::Update { key, value } => match db.put(at, key, value) {
-                Ok(out) => out.commit_at,
-                Err(e) => {
-                    failure.get_or_insert(e);
-                    at
-                }
-            },
-        });
+        let report =
+            ServiceDriver::run_slots(8, qd, start, ops, |_, at| match wl.next_op(&mut rng) {
+                YcsbOp::Read { key } => db.get(at, &key).0,
+                YcsbOp::Update { key, value } => match db.put(at, key, value) {
+                    Ok(out) => out.commit_at,
+                    Err(e) => {
+                        failure.get_or_insert(e);
+                        at
+                    }
+                },
+            });
         if let Some(e) = failure {
             return Err(e.into());
         }
@@ -410,7 +418,7 @@ fn ycsb(parsed: &Parsed) -> CliResult {
 }
 
 fn tenants(parsed: &Parsed) -> CliResult {
-    use twob_workloads::{EngineKind, TenantPool, TenantPoolConfig, WalScheme};
+    use twob_workloads::{EngineKind, ServiceDriver, TenantPool, TenantPoolConfig, WalScheme};
 
     let n = parsed.u64_or("n", 4)?;
     if !(1..=64).contains(&n) {
@@ -461,7 +469,7 @@ fn tenants(parsed: &Parsed) -> CliResult {
             ..TenantPoolConfig::standard(n as u16, mix.clone(), scheme, seed)
         };
         let mut pool = TenantPool::new(device(), cfg)?;
-        let report = pool.run()?;
+        let report = ServiceDriver::run_sessions(&mut pool)?;
         if json {
             rows.push(TenantJson {
                 scheme: report.scheme,
@@ -482,6 +490,111 @@ fn tenants(parsed: &Parsed) -> CliResult {
                 report.p99_us,
                 report.worst_tenant_p99_us,
                 report.commits_per_sec
+            );
+        }
+    }
+    if json {
+        println!("json: {}", serde_json::to_string(&rows)?);
+    }
+    Ok(())
+}
+
+fn serve(parsed: &Parsed) -> CliResult {
+    use twob_workloads::{ArrivalConfig, ArrivalKind, ServeConfig, ServiceDriver, WalScheme};
+
+    let tenants = parsed.u64_or("tenants", 16)?;
+    if !(1..=256).contains(&tenants) {
+        return Err("--tenants must be between 1 and 256 (one device's mapping entries)".into());
+    }
+    let arrival = parsed.str_or("arrival", "poisson");
+    let kind = ArrivalKind::parse(&arrival)
+        .ok_or_else(|| format!("--arrival must be poisson, burst, or diurnal, not {arrival:?}"))?;
+    let rate = parsed.u64_or("rate", 20_000)?;
+    if rate == 0 {
+        return Err("--rate must be positive".into());
+    }
+    let slo_p99_us = parsed.u64_or("slo-p99-us", 400)?;
+    if slo_p99_us == 0 {
+        return Err("--slo-p99-us must be positive".into());
+    }
+    let seed = parsed.u64_or("seed", 61)?;
+    let json = parsed.is_set("json");
+    #[derive(Debug, Serialize)]
+    #[allow(dead_code)]
+    struct ServeJson {
+        scheme: String,
+        offered: u64,
+        admitted: u64,
+        deferred: u64,
+        shed: u64,
+        offered_ops_per_sec: f64,
+        admitted_ops_per_sec: f64,
+        p50_us: f64,
+        p99_us: f64,
+        p999_us: f64,
+        slo_p99_us: f64,
+        slo_ok: bool,
+        windows_over_slo: u64,
+    }
+    if !json {
+        println!(
+            "{tenants} tenant(s), {} arrivals at {rate} ops/s/tenant, \
+             p99 SLO {slo_p99_us} us (seed {seed})\n",
+            kind.label()
+        );
+        println!(
+            "{:<7} {:>8} {:>9} {:>8} {:>6} {:>10} {:>10} {:>10} {:>7}",
+            "scheme",
+            "offered",
+            "admitted",
+            "deferred",
+            "shed",
+            "p50 us",
+            "p99 us",
+            "p999 us",
+            "slo"
+        );
+    }
+    let mut rows = Vec::new();
+    for scheme in [WalScheme::Ba, WalScheme::Block] {
+        let mut cfg = ServeConfig::standard(
+            tenants as u16,
+            scheme,
+            ArrivalConfig::new(kind, rate as f64, seed),
+        );
+        cfg.slo_p99_us = slo_p99_us as f64;
+        let report = ServiceDriver::serve(&cfg);
+        if report.clamped_posts != 0 {
+            return Err(format!("{} serve clamped posts into the past", report.scheme).into());
+        }
+        if json {
+            rows.push(ServeJson {
+                scheme: report.scheme,
+                offered: report.offered,
+                admitted: report.admitted,
+                deferred: report.deferred,
+                shed: report.shed_queue + report.shed_buffer,
+                offered_ops_per_sec: report.offered_ops_per_sec,
+                admitted_ops_per_sec: report.admitted_ops_per_sec,
+                p50_us: report.p50_us,
+                p99_us: report.p99_us,
+                p999_us: report.p999_us,
+                slo_p99_us: report.slo_p99_us,
+                slo_ok: report.slo_ok,
+                windows_over_slo: report.windows_over_slo,
+            });
+        } else {
+            println!(
+                "{:<7} {:>8} {:>9} {:>8} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>7}",
+                report.scheme,
+                report.offered,
+                report.admitted,
+                report.deferred,
+                report.shed_queue + report.shed_buffer,
+                report.p50_us,
+                report.p99_us,
+                report.p999_us,
+                if report.slo_ok { "met" } else { "MISSED" }
             );
         }
     }
@@ -772,6 +885,18 @@ mod tests {
             "40",
         ])
         .unwrap();
+        run(&[
+            "serve",
+            "--tenants",
+            "4",
+            "--arrival",
+            "burst",
+            "--rate",
+            "20000",
+            "--slo-p99-us",
+            "400",
+        ])
+        .unwrap();
         run(&["crash-demo"]).unwrap();
         run(&["faults", "sweep", "--cuts", "9", "--seed", "3"]).unwrap();
         run(&[
@@ -795,6 +920,7 @@ mod tests {
     fn json_variants_run() {
         run(&["gc", "--churn", "200", "--seed", "3", "--json"]).unwrap();
         run(&["tenants", "--n", "2", "--ops", "40", "--json"]).unwrap();
+        run(&["serve", "--tenants", "2", "--rate", "30000", "--json"]).unwrap();
         run(&[
             "repl",
             "--commits",
@@ -821,6 +947,11 @@ mod tests {
         assert!(run(&["tenants", "--n", "65"]).is_err());
         assert!(run(&["tenants", "--n", "2", "--mix", "pg,mysql"]).is_err());
         assert!(run(&["tenants", "--n", "2", "--ops", "0"]).is_err());
+        assert!(run(&["serve", "--tenants", "0"]).is_err());
+        assert!(run(&["serve", "--tenants", "257"]).is_err());
+        assert!(run(&["serve", "--arrival", "carrier-pigeon"]).is_err());
+        assert!(run(&["serve", "--rate", "0"]).is_err());
+        assert!(run(&["serve", "--slo-p99-us", "0"]).is_err());
         assert!(run(&["latency", "--trace", "yes"]).is_err());
         assert!(run(&["faults", "retry"]).is_err());
         assert!(run(&["faults", "sweep", "--cuts", "0"]).is_err());

@@ -444,6 +444,19 @@ impl ShardedIoCalendar {
         self.states[0].observed.len()
     }
 
+    /// The host's observation log — `(id, completion instant, failed)` per
+    /// completion — canonically ordered by `(completion instant, id)`, the
+    /// same order [`ShardedIoCalendar::host_digest`] folds over. This is
+    /// how a serving layer recovers per-operation latencies from a sharded
+    /// run without threading a callback through the PDES seam.
+    pub fn observed_log(&self) -> Vec<(u64, SimTime, bool)> {
+        let mut log = self.states[0].observed.clone();
+        log.sort_unstable_by_key(|&(id, at, _)| (at, id));
+        log.into_iter()
+            .map(|(id, at, failed)| (id, SimTime::from_nanos(at), failed))
+            .collect()
+    }
+
     /// Chains whose parent never completed during a run.
     pub fn unresolved_chains(&self) -> usize {
         self.states[0].chains.len()

@@ -91,6 +91,49 @@ impl Histogram {
         SimDuration::from_nanos(samples[rank])
     }
 
+    /// Returns the `q`-quantile (`0.0 ..= 1.0`) with linear interpolation
+    /// between the two closest ranks (the "R-7" estimator), in nanoseconds.
+    ///
+    /// Unlike [`Histogram::percentile`], which snaps to an observed sample
+    /// (nearest-rank, what the golden fixtures pin), this estimator answers
+    /// tail questions — p99/p999 against an SLO target — smoothly even when
+    /// the sample count is small relative to `1 / (1 - q)`. The result is a
+    /// pure function of the sorted sample multiset, so it is byte-stable
+    /// across recording orders and query histories.
+    ///
+    /// Returns `0.0` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0 ..= 1.0`.
+    pub fn interpolated(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        self.ensure_sorted();
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
+            return 0.0;
+        }
+        if samples.len() == 1 {
+            return samples[0] as f64;
+        }
+        let h = q * (samples.len() - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = (lo + 1).min(samples.len() - 1);
+        let frac = h - lo as f64;
+        samples[lo] as f64 + frac * (samples[hi] as f64 - samples[lo] as f64)
+    }
+
+    /// Interpolated 99th percentile in nanoseconds.
+    pub fn p99(&self) -> f64 {
+        self.interpolated(0.99)
+    }
+
+    /// Interpolated 99.9th percentile in nanoseconds — the SLO-tracking
+    /// tail quantile.
+    pub fn p999(&self) -> f64 {
+        self.interpolated(0.999)
+    }
+
     /// Arithmetic mean, or zero for an empty histogram.
     pub fn mean(&self) -> SimDuration {
         let samples = self.samples.borrow();
@@ -357,6 +400,68 @@ mod tests {
         h.record(SimDuration::from_nanos(0));
         assert_eq!(h.percentile(0.0), SimDuration::ZERO);
         assert_eq!(h.percentile(1.0), SimDuration::from_nanos(5));
+    }
+
+    #[test]
+    fn histogram_interpolated_quantiles() {
+        let mut h = Histogram::new();
+        for ns in 1..=100u64 {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        // R-7: h = q * (n - 1); midpoints interpolate between neighbours.
+        assert_eq!(h.interpolated(0.0), 1.0);
+        assert_eq!(h.interpolated(0.5), 50.5);
+        assert_eq!(h.interpolated(1.0), 100.0);
+        assert!((h.p99() - 99.01).abs() < 1e-9);
+        let mut k = Histogram::new();
+        for ns in 1..=1000u64 {
+            k.record(SimDuration::from_nanos(ns));
+        }
+        assert!((k.p999() - 999.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_interpolated_edge_cases() {
+        let empty = Histogram::new();
+        assert_eq!(empty.interpolated(0.5), 0.0);
+        assert_eq!(empty.p999(), 0.0);
+        let mut one = Histogram::new();
+        one.record(SimDuration::from_nanos(42));
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(one.interpolated(q), 42.0);
+        }
+        let mut two = Histogram::new();
+        two.record(SimDuration::from_nanos(10));
+        two.record(SimDuration::from_nanos(20));
+        assert_eq!(two.interpolated(0.5), 15.0);
+        assert_eq!(two.interpolated(0.25), 12.5);
+    }
+
+    /// Interpolated quantiles are a pure function of the sample multiset:
+    /// bitwise-identical across recording orders and query histories.
+    #[test]
+    fn histogram_interpolated_is_byte_stable() {
+        let mut a = Histogram::new();
+        for ns in [7u64, 3, 9, 1, 5, 8, 2, 6, 4] {
+            a.record(SimDuration::from_nanos(ns));
+        }
+        let mut b = Histogram::new();
+        for ns in 1..=9u64 {
+            b.record(SimDuration::from_nanos(ns));
+        }
+        // Query one of the two first so their lazy-sort histories differ.
+        let _ = a.percentile(0.5);
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.interpolated(q).to_bits(), b.interpolated(q).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn histogram_interpolated_rejects_bad_quantile() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(1));
+        let _ = h.interpolated(-0.1);
     }
 
     #[test]

@@ -21,21 +21,31 @@
 //! use twob_sim::SimTime;
 //! use twob_ssd::{NvmeOp, NvmeSsd, QueueConfig, Ssd, SsdConfig};
 //!
+//! use twob_sim::Executor;
+//!
 //! let mut dev = NvmeSsd::new(
 //!     Ssd::new(SsdConfig::ull_ssd().small()),
 //!     QueueConfig::new(1, 8),
 //! );
-//! // Preload four pages, then read them back at queue depth 8.
+//! // Preload four pages, then read them back through the queue pair.
 //! let data = vec![7u8; 4096];
 //! for i in 0..4 {
 //!     dev.ssd_mut().write(SimTime::ZERO, Lba(i), &data).unwrap();
 //! }
-//! let report = dev.run_closed_loop(SimTime::from_nanos(1_000_000), 4, |i| {
-//!     (0, NvmeOp::Read { lba: Lba(i % 4), pages: 1 })
-//! });
-//! assert_eq!(report.ops, 4);
-//! assert_eq!(report.errors, 0);
+//! let mut exec = Executor::new();
+//! let start = SimTime::from_nanos(1_000_000);
+//! for i in 0..4 {
+//!     dev.submit(&mut exec, start, 0, NvmeOp::Read { lba: Lba(i % 4), pages: 1 })
+//!         .unwrap();
+//! }
+//! exec.run(|ex, t, ev| dev.handle(ex, t, ev));
+//! let done = dev.drain_completions();
+//! assert_eq!(done.len(), 4);
+//! assert!(done.iter().all(|c| c.result.is_ok()));
 //! ```
+//!
+//! Closed-loop driving (keeping every pair at depth) lives in the workload
+//! layer's `ServiceDriver::run_nvme`.
 
 use std::collections::VecDeque;
 
@@ -328,9 +338,8 @@ impl NvmeSsd {
     }
 
     /// Handles one calendar event. Drive the calendar with
-    /// `exec.run(|ex, t, ev| dev.handle(ex, t, ev))` (or use
-    /// [`NvmeSsd::run_closed_loop`]), then collect CQ entries with
-    /// [`NvmeSsd::drain_completions`].
+    /// `exec.run(|ex, t, ev| dev.handle(ex, t, ev))`, then collect CQ
+    /// entries with [`NvmeSsd::drain_completions`].
     pub fn handle(&mut self, exec: &mut Executor<NvmeEvent>, t: SimTime, event: NvmeEvent) {
         match event.0 {
             Kind::Doorbell => self.arbitrate(exec, t),
@@ -428,86 +437,10 @@ impl NvmeSsd {
     pub fn drain_completions(&mut self) -> Vec<NvmeCompletion> {
         std::mem::take(&mut self.completions)
     }
-
-    /// Drives `total_ops` commands closed-loop: every queue pair is kept at
-    /// its configured depth, and each completion immediately submits the
-    /// next command to the queue that finished. `next_op` maps the global
-    /// command index to `(qid, op)` for the priming phase; refills reuse the
-    /// completing queue id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `next_op` returns an out-of-bounds `qid`.
-    pub fn run_closed_loop<G>(&mut self, start: SimTime, total_ops: u64, mut next_op: G) -> QdReport
-    where
-        G: FnMut(u64) -> (usize, NvmeOp),
-    {
-        let mut exec = Executor::new();
-        let mut issued = 0u64;
-        // Prime every queue to its depth, round-robin across pairs so the
-        // arbitration order is exercised from the first doorbell.
-        'prime: loop {
-            let mut any = false;
-            for _ in 0..self.cfg.pairs {
-                if issued >= total_ops {
-                    break 'prime;
-                }
-                let (qid, op) = next_op(issued);
-                if !self.can_submit(qid) {
-                    continue;
-                }
-                self.submit(&mut exec, start, qid, op)
-                    .expect("can_submit was checked");
-                issued += 1;
-                any = true;
-            }
-            if !any {
-                break;
-            }
-        }
-        let mut report = QdReport {
-            ops: 0,
-            errors: 0,
-            bytes: 0,
-            epoch: start,
-            makespan: start,
-            latency: Histogram::new(),
-        };
-        // The closed loop proper: each CQ entry refills its queue at the
-        // completion instant, keeping the device at depth until the work
-        // runs out.
-        let mut drive = |dev: &mut NvmeSsd, ex: &mut Executor<NvmeEvent>, t, ev| {
-            dev.handle(ex, t, ev);
-            for entry in dev.drain_completions() {
-                report.ops += 1;
-                report.bytes += entry.bytes;
-                report.makespan = report.makespan.max(entry.completed);
-                report
-                    .latency
-                    .record(entry.completed.saturating_since(entry.submitted));
-                if entry.result.is_err() {
-                    report.errors += 1;
-                }
-                if issued < total_ops {
-                    let (_, op) = next_op(issued);
-                    issued += 1;
-                    dev.submit(ex, entry.completed, entry.qid, op)
-                        .expect("a completion freed a slot on this queue");
-                }
-            }
-        };
-        exec.run(|ex, t, ev| drive(self, ex, t, ev));
-        debug_assert_eq!(
-            exec.clamped_posts(),
-            0,
-            "closed-loop drive posted events into the past: every completion \
-             and refill is scheduled at or after the instant that caused it"
-        );
-        report
-    }
 }
 
-/// Aggregate result of an [`NvmeSsd::run_closed_loop`] drive.
+/// Aggregate result of a closed-loop queue-pair drive (see the workload
+/// layer's `ServiceDriver::run_nvme`).
 #[derive(Debug, Clone)]
 pub struct QdReport {
     /// Commands completed.
@@ -562,59 +495,6 @@ mod tests {
     }
 
     #[test]
-    fn qd1_read_matches_synchronous_path() {
-        let start = SimTime::from_nanos(100_000_000);
-        let mut queued = preloaded(8, QueueConfig::new(1, 1));
-        let report = queued.run_closed_loop(start, 8, |i| {
-            (
-                0,
-                NvmeOp::Read {
-                    lba: Lba(i % 8),
-                    pages: 1,
-                },
-            )
-        });
-        // The same reads through the synchronous API, each issued at the
-        // previous completion: identical spans, because the queued path runs
-        // the very same fetch/NAND/transfer stages on the same servers.
-        let mut sync = preloaded(8, QueueConfig::new(1, 1));
-        let mut t = start;
-        for i in 0..8u64 {
-            t = sync.ssd_mut().read(t, Lba(i % 8), 1).unwrap().complete_at;
-        }
-        assert_eq!(report.ops, 8);
-        assert_eq!(report.errors, 0);
-        assert_eq!(report.makespan, t);
-    }
-
-    #[test]
-    fn deeper_queue_overlaps_stages() {
-        let start = SimTime::from_nanos(100_000_000);
-        let run = |depth: usize| {
-            let mut dev = preloaded(64, QueueConfig::new(1, depth));
-            dev.run_closed_loop(start, 64, |i| {
-                (
-                    0,
-                    NvmeOp::Read {
-                        lba: Lba(i % 64),
-                        pages: 1,
-                    },
-                )
-            })
-        };
-        let qd1 = run(1);
-        let qd16 = run(16);
-        assert_eq!(qd1.ops, 64);
-        assert_eq!(qd16.ops, 64);
-        assert!(
-            qd16.bytes_per_sec() > qd1.bytes_per_sec(),
-            "QD16 read bandwidth {:.1} MB/s should beat QD1 {:.1} MB/s",
-            qd16.mb_per_sec(),
-            qd1.mb_per_sec()
-        );
-    }
-
-    #[test]
     fn round_robin_interleaves_backlogged_queues() {
         let mut dev = preloaded(8, QueueConfig::new(2, 4));
         let mut exec = Executor::new();
@@ -659,90 +539,6 @@ mod tests {
             .submit(&mut exec, SimTime::ZERO, 0, NvmeOp::Flush)
             .unwrap_err();
         assert_eq!(err, QueueFull { qid: 0, depth: 2 });
-    }
-
-    #[test]
-    fn errors_surface_in_cq_entries() {
-        let mut dev = NvmeSsd::new(
-            Ssd::new(SsdConfig::ull_ssd().small()),
-            QueueConfig::default(),
-        );
-        let report = dev.run_closed_loop(SimTime::ZERO, 1, |_| {
-            (
-                0,
-                NvmeOp::Read {
-                    lba: Lba(0),
-                    pages: 1,
-                },
-            ) // unmapped
-        });
-        assert_eq!(report.ops, 1);
-        assert_eq!(report.errors, 1);
-        assert_eq!(report.bytes, 0);
-    }
-
-    #[test]
-    fn writes_and_flush_complete_in_order_queued() {
-        let mut dev = NvmeSsd::new(
-            Ssd::new(SsdConfig::ull_ssd().small()),
-            QueueConfig::new(1, 4),
-        );
-        let report = dev.run_closed_loop(SimTime::ZERO, 5, |i| {
-            if i < 4 {
-                (
-                    0,
-                    NvmeOp::Write {
-                        lba: Lba(i),
-                        data: vec![i as u8; 4096],
-                    },
-                )
-            } else {
-                (0, NvmeOp::Flush)
-            }
-        });
-        assert_eq!(report.ops, 5);
-        assert_eq!(report.errors, 0);
-        assert_eq!(report.bytes, 4 * 4096);
-        // Data landed: read back through the synchronous API.
-        let r = dev.ssd_mut().read(report.makespan, Lba(2), 1).unwrap();
-        assert_eq!(r.data, vec![2u8; 4096]);
-    }
-
-    #[test]
-    fn namespaces_isolate_tenant_address_spaces() {
-        let mut dev = NvmeSsd::new(
-            Ssd::new(SsdConfig::ull_ssd().small()),
-            QueueConfig::new(2, 4),
-        );
-        dev.bind_namespace(
-            0,
-            Namespace {
-                base: Lba(0),
-                pages: 8,
-            },
-        );
-        dev.bind_namespace(
-            1,
-            Namespace {
-                base: Lba(8),
-                pages: 8,
-            },
-        );
-        // Both tenants write "their" LBA 0; the device must keep them apart.
-        let report = dev.run_closed_loop(SimTime::ZERO, 2, |i| {
-            (
-                i as usize,
-                NvmeOp::Write {
-                    lba: Lba(0),
-                    data: vec![0x10 + i as u8; 4096],
-                },
-            )
-        });
-        assert_eq!(report.errors, 0);
-        let a = dev.ssd_mut().read(report.makespan, Lba(0), 1).unwrap();
-        let b = dev.ssd_mut().read(report.makespan, Lba(8), 1).unwrap();
-        assert_eq!(a.data, vec![0x10u8; 4096]);
-        assert_eq!(b.data, vec![0x11u8; 4096]);
     }
 
     #[test]
@@ -805,28 +601,5 @@ mod tests {
         assert_eq!(dev.drain_completions().len(), 16);
         let fetches = dev.fetch_counts().to_vec();
         assert_eq!(fetches, vec![4, 4, 4, 4], "round-robin lost fairness");
-    }
-
-    #[test]
-    fn closed_loop_is_deterministic() {
-        let run = || {
-            let mut dev = preloaded(16, QueueConfig::new(2, 8));
-            let report = dev.run_closed_loop(SimTime::from_nanos(100_000_000), 64, |i| {
-                (
-                    (i % 2) as usize,
-                    NvmeOp::Read {
-                        lba: Lba(i % 16),
-                        pages: 1,
-                    },
-                )
-            });
-            (
-                report.ops,
-                report.bytes,
-                report.makespan,
-                report.latency.percentile(0.99),
-            )
-        };
-        assert_eq!(run(), run());
     }
 }

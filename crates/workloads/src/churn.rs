@@ -95,12 +95,12 @@ impl ChurnWorkload {
     /// The next overwrite target.
     pub fn next_lba(&mut self) -> Lba {
         self.issued += 1;
-        let hot_lbas = ((self.cfg.lbas as f64 * self.cfg.hot_fraction) as u64).max(1);
-        if self.rng.chance(self.cfg.hot_probability) {
-            Lba(self.rng.next_u64_below(hot_lbas))
-        } else {
-            Lba(self.rng.next_u64_below(self.cfg.lbas))
-        }
+        Lba(crate::gen::hot_cold_draw(
+            &mut self.rng,
+            self.cfg.lbas,
+            self.cfg.hot_fraction,
+            self.cfg.hot_probability,
+        ))
     }
 
     /// A page-sized payload that encodes `(lba, issue index)`, so a later

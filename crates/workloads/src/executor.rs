@@ -1,6 +1,9 @@
-//! Multi-client virtual-time execution.
+//! Multi-client virtual-time execution: the lock-step [`ClientPool`].
+//!
+//! Queue-depth closed loops live in the serving stack now — see
+//! [`crate::ServiceDriver::run_slots`].
 
-use twob_sim::{EventQueue, Histogram, SimTime};
+use twob_sim::SimTime;
 
 /// A pool of simulated client threads, each with its own virtual clock.
 ///
@@ -126,118 +129,6 @@ impl ClientPool {
     }
 }
 
-/// The result of driving a [`ClosedLoopPool`] to completion.
-#[derive(Debug, Clone)]
-pub struct ClosedLoopReport {
-    /// Operations completed.
-    pub ops: u64,
-    /// The instant the pool started issuing.
-    pub epoch: SimTime,
-    /// The instant the last operation completed.
-    pub makespan: SimTime,
-    /// Per-operation latency (issue to completion).
-    pub latency: Histogram,
-}
-
-impl ClosedLoopReport {
-    /// Throughput in operations per virtual second over `makespan − epoch`.
-    pub fn ops_per_sec(&self) -> f64 {
-        let secs = self.makespan.saturating_since(self.epoch).as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            self.ops as f64 / secs
-        }
-    }
-}
-
-/// A closed-loop executor: each of `clients` clients keeps `qd` operations
-/// outstanding at all times, issuing the next one at the very instant a slot
-/// completes. At `qd == 1` this degenerates to the lock-step [`ClientPool`]
-/// discipline; at higher depths it is what actually exercises queuing in the
-/// engine under test.
-///
-/// The pool runs on the event calendar from `twob-sim`: every free slot is a
-/// calendar event carrying its client index, popped in deterministic
-/// `(time, insertion)` order, so two runs with the same operation closure are
-/// byte-identical.
-///
-/// # Example
-///
-/// ```rust
-/// use twob_sim::{SimDuration, SimTime};
-/// use twob_workloads::ClosedLoopPool;
-///
-/// // 2 clients × QD 4 over a fixed 10 us op: 8 ops complete per 10 us round.
-/// let report = ClosedLoopPool::new(2, 4)
-///     .run(SimTime::ZERO, 16, |_client, issue_at| {
-///         issue_at + SimDuration::from_micros(10)
-///     });
-/// assert_eq!(report.ops, 16);
-/// assert_eq!(report.makespan, SimTime::from_nanos(20_000));
-/// ```
-#[derive(Debug, Clone)]
-pub struct ClosedLoopPool {
-    clients: usize,
-    qd: usize,
-}
-
-impl ClosedLoopPool {
-    /// Creates a pool of `clients` clients, each keeping `qd` operations
-    /// outstanding.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `clients` or `qd` is zero.
-    pub fn new(clients: usize, qd: usize) -> Self {
-        assert!(clients > 0, "need at least one client");
-        assert!(qd > 0, "need a queue depth of at least one");
-        ClosedLoopPool { clients, qd }
-    }
-
-    /// Queue depth per client.
-    pub fn queue_depth(&self) -> usize {
-        self.qd
-    }
-
-    /// Drives `total_ops` operations starting at `start`. `op` is called as
-    /// `(client, issue_at)` and returns the operation's completion instant
-    /// (clamped forward if the engine reports a completion before the
-    /// issue instant).
-    pub fn run<F>(&self, start: SimTime, total_ops: u64, mut op: F) -> ClosedLoopReport
-    where
-        F: FnMut(usize, SimTime) -> SimTime,
-    {
-        let mut calendar: EventQueue<usize> = EventQueue::new();
-        for client in 0..self.clients {
-            for _ in 0..self.qd {
-                calendar.push(start, client);
-            }
-        }
-        let mut issued = 0u64;
-        let mut report = ClosedLoopReport {
-            ops: 0,
-            epoch: start,
-            makespan: start,
-            latency: Histogram::new(),
-        };
-        // Each calendar entry is a slot becoming free; issuing the next
-        // operation re-posts the slot at that operation's completion.
-        while let Some((free_at, client)) = calendar.pop() {
-            report.makespan = report.makespan.max(free_at);
-            if issued >= total_ops {
-                continue;
-            }
-            issued += 1;
-            let done = op(client, free_at).max(free_at);
-            report.ops += 1;
-            report.latency.record(done.saturating_since(free_at));
-            calendar.push(done, client);
-        }
-        report
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,23 +187,9 @@ mod tests {
     }
 
     #[test]
-    fn closed_loop_overlaps_by_queue_depth() {
-        let fixed = SimDuration::from_micros(10);
-        let qd1 = ClosedLoopPool::new(1, 1).run(SimTime::ZERO, 16, |_, t| t + fixed);
-        let qd4 = ClosedLoopPool::new(1, 4).run(SimTime::ZERO, 16, |_, t| t + fixed);
-        assert_eq!(qd1.ops, 16);
-        assert_eq!(qd4.ops, 16);
-        // A fixed-latency engine admits perfect overlap: QD4 finishes 4x
-        // sooner and reports 4x the throughput.
-        assert_eq!(qd1.makespan, SimTime::from_nanos(160_000));
-        assert_eq!(qd4.makespan, SimTime::from_nanos(40_000));
-        assert!((qd4.ops_per_sec() / qd1.ops_per_sec() - 4.0).abs() < 1e-9);
-    }
-
-    #[test]
     fn closed_loop_qd1_matches_client_pool() {
-        // At QD1 the closed loop is exactly the lock-step ClientPool
-        // discipline: same makespan, same throughput.
+        // At QD1 the closed-loop slot mode is exactly the lock-step
+        // ClientPool discipline: same makespan, same throughput.
         let service = |c: usize| SimDuration::from_nanos(5_000 + c as u64 * 900);
         let start = SimTime::from_nanos(123);
         let mut pool = ClientPool::starting_at(3, start);
@@ -320,31 +197,8 @@ mod tests {
             let (c, t) = pool.next_client();
             pool.complete(c, t + service(c));
         }
-        let report = ClosedLoopPool::new(3, 1).run(start, 30, |c, t| t + service(c));
+        let report = crate::ServiceDriver::run_slots(3, 1, start, 30, |c, t| t + service(c));
         assert_eq!(report.makespan, pool.makespan());
         assert!((report.ops_per_sec() - pool.ops_per_sec()).abs() < 1e-9);
-    }
-
-    #[test]
-    fn closed_loop_counts_makespan_from_epoch() {
-        let start = SimTime::from_nanos(2_000_000);
-        let report =
-            ClosedLoopPool::new(2, 2).run(start, 8, |_, t| t + SimDuration::from_micros(10));
-        assert_eq!(report.epoch, start);
-        assert_eq!(report.makespan, start + SimDuration::from_micros(20));
-        assert!((report.ops_per_sec() - 400_000.0).abs() < 1.0);
-    }
-
-    #[test]
-    fn closed_loop_is_deterministic() {
-        let run = || {
-            ClosedLoopPool::new(4, 8).run(SimTime::ZERO, 100, |c, t| {
-                t + SimDuration::from_nanos(1_000 + (c as u64) * 37)
-            })
-        };
-        let (a, b) = (run(), run());
-        assert_eq!(a.ops, b.ops);
-        assert_eq!(a.makespan, b.makespan);
-        assert_eq!(a.latency.percentile(0.99), b.latency.percentile(0.99));
     }
 }

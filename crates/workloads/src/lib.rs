@@ -17,13 +17,19 @@
 //!   client carries its own clock, the pool always dispatches the
 //!   farthest-behind client, and shared device queues emerge naturally in
 //!   the engine's busy-until resources.
-//! - [`ClosedLoopPool`] — the queue-depth generalization: each client keeps
-//!   `qd` operations outstanding on the `twob-sim` event calendar, issuing
-//!   the next the instant a slot frees, which is what drives devices above
-//!   QD1.
+//! - [`mod@arrival`] — the open-loop arrival layer: seeded Poisson, bursty
+//!   (MMPP-style on/off), and diurnal-trace processes offering load that
+//!   does not self-throttle to the device.
+//! - [`ServiceDriver`] — the one event-loop owner of the serving stack:
+//!   open-loop serving with admission control and SLO tracking
+//!   ([`ServiceDriver::serve`], [`ServiceDriver::serve_sharded`]), plus the
+//!   closed-loop modes the old per-driver loops became
+//!   ([`ServiceDriver::run_slots`], [`ServiceDriver::run_sessions`],
+//!   [`ServiceDriver::run_nvme`]).
 //! - [`TenantPool`] — the multi-tenant generalization of the paper's §V
 //!   co-location: N engines (a pg/rocks/redis mix), each with its own
-//!   group committer and log window, contending on one shared 2B-SSD.
+//!   group committer and log window, contending on one shared 2B-SSD;
+//!   state only, driven by [`ServiceDriver::run_sessions`].
 //!
 //! # Example
 //!
@@ -45,17 +51,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 mod churn;
 mod executor;
 pub mod fio;
+pub mod gen;
 mod linkbench;
+mod serve;
 mod tenant;
 pub mod trace;
 mod ycsb;
 
+pub use arrival::{ArrivalConfig, ArrivalKind, ArrivalProcess};
 pub use churn::{ChurnConfig, ChurnWorkload};
-pub use executor::{ClientPool, ClosedLoopPool, ClosedLoopReport};
+pub use executor::ClientPool;
 pub use linkbench::{LinkbenchConfig, LinkbenchWorkload};
+pub use serve::{
+    AdmissionPlan, AdmittedOp, ClosedLoopReport, ServeConfig, ServeReport, ServiceDriver,
+    ShardDrive,
+};
 pub use tenant::{
     EngineKind, TenantOutcome, TenantPool, TenantPoolConfig, TenantReport, WalScheme,
 };

@@ -15,12 +15,13 @@
 //!   datapath contention, shared write cache, background GC) is what the
 //!   sweep measures.
 //!
-//! Engines log through a recording sink; the pool forwards each produced
+//! Engines log through a recording sink; the driver forwards each produced
 //! record to the tenant's group committer, and a committing client blocks
-//! until its batch's durability point. The event loop always dispatches
-//! the earliest event (farthest-behind ready client or armed batch
-//! deadline, ties broken by tenant then client index), so a run is a pure
-//! function of its configuration.
+//! until its batch's durability point. The pool holds state only — the
+//! event loop lives in [`crate::ServiceDriver::run_sessions`], which always
+//! dispatches the earliest event (farthest-behind ready client or armed
+//! batch deadline, ties broken by tenant then client index), so a run is a
+//! pure function of its configuration.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -234,7 +235,7 @@ impl WalWriter for RecordingWal {
 }
 
 /// The real per-tenant log behind the group committer.
-enum TenantWal {
+pub(crate) enum TenantWal {
     Ba(TenantBaWal),
     Block(TenantBlockWal),
 }
@@ -274,7 +275,7 @@ impl WalWriter for TenantWal {
 }
 
 /// One tenant's engine plus its workload generator.
-enum EngineRt {
+pub(crate) enum EngineRt {
     Pg(Box<MiniPg>, LinkbenchWorkload),
     Rocks(Box<MiniRocks>, YcsbWorkload),
     Redis(Box<MiniRedis>, YcsbWorkload),
@@ -284,7 +285,7 @@ impl EngineRt {
     /// Runs the tenant's load phase, returning its end time. Load-phase
     /// records populate in-memory state only (drained and dropped by the
     /// caller); the measured phase is what reaches the log.
-    fn load(&mut self, rng: &mut SimRng) -> Result<SimTime, DbError> {
+    pub(crate) fn load(&mut self, rng: &mut SimRng) -> Result<SimTime, DbError> {
         let mut t = SimTime::ZERO;
         match self {
             EngineRt::Pg(db, wl) => {
@@ -309,7 +310,7 @@ impl EngineRt {
     /// Dispatches one workload operation at `at`, returning when the
     /// engine-side work (CPU + in-memory apply) is done. Log records it
     /// produced are waiting in the recorder.
-    fn step(&mut self, at: SimTime, rng: &mut SimRng) -> Result<SimTime, DbError> {
+    pub(crate) fn step(&mut self, at: SimTime, rng: &mut SimRng) -> Result<SimTime, DbError> {
         match self {
             EngineRt::Pg(db, wl) => {
                 let txn = wl.next_txn(rng);
@@ -327,26 +328,26 @@ impl EngineRt {
     }
 }
 
-struct Tenant {
-    engine_kind: EngineKind,
-    engine: EngineRt,
-    recorder: Rc<RefCell<Vec<Vec<u8>>>>,
-    group: GroupCommit<TenantWal>,
-    rng: SimRng,
+pub(crate) struct Tenant {
+    pub(crate) engine_kind: EngineKind,
+    pub(crate) engine: EngineRt,
+    pub(crate) recorder: Rc<RefCell<Vec<Vec<u8>>>>,
+    pub(crate) group: GroupCommit<TenantWal>,
+    pub(crate) rng: SimRng,
     /// Per-client clocks; `None` while the client waits on a commit.
-    clients: Vec<Option<SimTime>>,
+    pub(crate) clients: Vec<Option<SimTime>>,
     /// Ticket → client index, for the ticket each blocked client waits on.
-    waiting: HashMap<u64, usize>,
-    remaining: u64,
-    latencies_ns: Vec<u64>,
-    end: SimTime,
+    pub(crate) waiting: HashMap<u64, usize>,
+    pub(crate) remaining: u64,
+    pub(crate) latencies_ns: Vec<u64>,
+    pub(crate) end: SimTime,
 }
 
 /// N engines over one shared device. See the module docs.
 pub struct TenantPool {
     dev: Rc<RefCell<TwoBSsd>>,
-    tenants: Vec<Tenant>,
-    cfg: TenantPoolConfig,
+    pub(crate) tenants: Vec<Tenant>,
+    pub(crate) cfg: TenantPoolConfig,
 }
 
 impl TenantPool {
@@ -442,7 +443,7 @@ impl TenantPool {
                 engine,
                 recorder,
                 group: GroupCommit::new(wal, cfg.group_window, cfg.max_batch),
-                rng: SimRng::seed_from(cfg.seed.wrapping_add(u64::from(i) * 0x9E37_79B9)),
+                rng: crate::gen::tenant_rng(cfg.seed, i),
                 clients: vec![Some(SimTime::ZERO); clients],
                 waiting: HashMap::new(),
                 remaining: cfg.ops_per_tenant,
@@ -457,199 +458,12 @@ impl TenantPool {
     pub fn device(&self) -> Rc<RefCell<TwoBSsd>> {
         self.dev.clone()
     }
-
-    /// Runs every tenant to completion and reports commit latencies.
-    ///
-    /// # Errors
-    ///
-    /// Engine or WAL failures.
-    pub fn run(&mut self) -> Result<TenantReport, DbError> {
-        // Load phase: populate each engine's in-memory state. These records
-        // never reach the shared log (the measured phase starts cold at the
-        // latest load end so tenants begin together).
-        let mut start = SimTime::ZERO;
-        for tenant in &mut self.tenants {
-            let end = tenant.engine.load(&mut tenant.rng)?;
-            tenant.recorder.borrow_mut().clear();
-            start = start.max(end);
-        }
-        for tenant in &mut self.tenants {
-            for c in &mut tenant.clients {
-                *c = Some(start);
-            }
-        }
-
-        // Event loop: always advance the earliest event — a ready client's
-        // next operation or an armed group-commit deadline.
-        loop {
-            let mut next_client: Option<(usize, usize, SimTime)> = None;
-            let mut next_deadline: Option<(usize, SimTime)> = None;
-            for (ti, tenant) in self.tenants.iter().enumerate() {
-                if tenant.remaining > 0 {
-                    for (ci, clock) in tenant.clients.iter().enumerate() {
-                        if let Some(at) = clock {
-                            if next_client.is_none_or(|(_, _, t)| *at < t) {
-                                next_client = Some((ti, ci, *at));
-                            }
-                        }
-                    }
-                }
-                if let Some(d) = tenant.group.next_deadline() {
-                    if next_deadline.is_none_or(|(_, t)| d < t) {
-                        next_deadline = Some((ti, d));
-                    }
-                }
-            }
-            match (next_client, next_deadline) {
-                (Some((ti, ci, at)), deadline) => {
-                    if let Some((di, d)) = deadline {
-                        if d <= at {
-                            Self::drive_tenant(&mut self.tenants[di], d)?;
-                            continue;
-                        }
-                    }
-                    self.dispatch(ti, ci, at)?;
-                }
-                (None, Some((di, d))) => {
-                    Self::drive_tenant(&mut self.tenants[di], d)?;
-                }
-                (None, None) => break,
-            }
-        }
-        // Tail flush: batches armed after the last ops, and any committer
-        // stranded by an empty deadline queue.
-        let tail = self.tenants.iter().map(|t| t.end).max().unwrap_or(start);
-        for tenant in &mut self.tenants {
-            Self::flush_tenant(tenant, tail)?;
-        }
-
-        Ok(self.report(start))
-    }
-
-    /// Runs one client operation and forwards produced log records to the
-    /// tenant's group committer.
-    fn dispatch(&mut self, ti: usize, ci: usize, at: SimTime) -> Result<(), DbError> {
-        let tenant = &mut self.tenants[ti];
-        tenant.remaining -= 1;
-        let done = tenant.engine.step(at, &mut tenant.rng)?;
-        tenant.end = tenant.end.max(done);
-        let records: Vec<Vec<u8>> = tenant.recorder.borrow_mut().drain(..).collect();
-        if records.is_empty() {
-            // Read-only operation: the client moves on immediately.
-            tenant.clients[ci] = Some(done);
-            return Ok(());
-        }
-        let mut last_ticket = 0;
-        for payload in &records {
-            last_ticket = tenant.group.submit(done, payload);
-        }
-        // The committing client blocks until its batch is durable.
-        tenant.clients[ci] = None;
-        tenant.waiting.insert(last_ticket, ci);
-        if tenant.group.pending_len() >= self.cfg.max_batch {
-            Self::drive_tenant(tenant, done)?;
-        }
-        Ok(())
-    }
-
-    /// Advances one tenant's group committer to `now`, recording latencies
-    /// and unblocking clients whose commits completed.
-    fn drive_tenant(tenant: &mut Tenant, now: SimTime) -> Result<(), DbError> {
-        let waiting = &mut tenant.waiting;
-        let clients = &mut tenant.clients;
-        let latencies = &mut tenant.latencies_ns;
-        let mut end = tenant.end;
-        tenant.group.drive(now, |out| {
-            latencies.push(out.commit_at.saturating_since(out.submitted).as_nanos());
-            end = end.max(out.commit_at);
-            if let Some(ci) = waiting.remove(&out.ticket) {
-                clients[ci] = Some(out.commit_at);
-            }
-        })?;
-        tenant.end = end;
-        Ok(())
-    }
-
-    /// Forces out everything a tenant still has pending (end of run).
-    fn flush_tenant(tenant: &mut Tenant, now: SimTime) -> Result<(), DbError> {
-        let waiting = &mut tenant.waiting;
-        let clients = &mut tenant.clients;
-        let latencies = &mut tenant.latencies_ns;
-        let mut end = tenant.end;
-        tenant.group.flush_now(now, |out| {
-            latencies.push(out.commit_at.saturating_since(out.submitted).as_nanos());
-            end = end.max(out.commit_at);
-            if let Some(ci) = waiting.remove(&out.ticket) {
-                clients[ci] = Some(out.commit_at);
-            }
-        })?;
-        tenant.end = end;
-        Ok(())
-    }
-
-    fn report(&self, start: SimTime) -> TenantReport {
-        let mut all: Vec<u64> = Vec::new();
-        let mut per_tenant = Vec::with_capacity(self.tenants.len());
-        let mut commits = 0u64;
-        let mut batches = 0u64;
-        let mut grouped = 0u64;
-        let mut worst = 0.0f64;
-        let mut end = start;
-        for (i, tenant) in self.tenants.iter().enumerate() {
-            let mut lat = tenant.latencies_ns.clone();
-            lat.sort_unstable();
-            let p99 = percentile_us(&lat, 0.99);
-            worst = worst.max(p99);
-            per_tenant.push(TenantOutcome {
-                tenant: i as u16,
-                engine: tenant.engine_kind,
-                commits: lat.len() as u64,
-                p50_us: percentile_us(&lat, 0.50),
-                p99_us: p99,
-            });
-            commits += lat.len() as u64;
-            batches += tenant.group.batches();
-            grouped += tenant.group.grouped_commits();
-            all.extend_from_slice(&lat);
-            end = end.max(tenant.end);
-        }
-        all.sort_unstable();
-        let span = end.saturating_since(start).as_secs_f64();
-        TenantReport {
-            tenants: self.cfg.tenants,
-            scheme: self.cfg.scheme.label().to_string(),
-            commits,
-            batches,
-            grouped_pct: if commits == 0 {
-                0.0
-            } else {
-                100.0 * grouped as f64 / commits as f64
-            },
-            p50_us: percentile_us(&all, 0.50),
-            p99_us: percentile_us(&all, 0.99),
-            worst_tenant_p99_us: worst,
-            commits_per_sec: if span > 0.0 {
-                commits as f64 / span
-            } else {
-                0.0
-            },
-            per_tenant,
-        }
-    }
-}
-
-/// Nearest-rank percentile of a sorted nanosecond series, in µs.
-fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
-    sorted_ns[rank - 1] as f64 / 1e3
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serve::ServiceDriver;
     use twob_core::TwoBSpec;
     use twob_ssd::SsdConfig;
 
@@ -678,7 +492,7 @@ mod tests {
     #[test]
     fn mixed_tenants_share_one_device() {
         let mut pool = TenantPool::new(device(4), quick_cfg(4, WalScheme::Ba)).unwrap();
-        let report = pool.run().unwrap();
+        let report = ServiceDriver::run_sessions(&mut pool).unwrap();
         assert_eq!(report.tenants, 4);
         assert_eq!(report.per_tenant.len(), 4);
         // The mix assigns engines round-robin.
@@ -699,24 +513,18 @@ mod tests {
     #[test]
     fn pool_runs_are_deterministic() {
         let run = || {
-            TenantPool::new(device(4), quick_cfg(4, WalScheme::Ba))
-                .unwrap()
-                .run()
-                .unwrap()
+            let mut pool = TenantPool::new(device(4), quick_cfg(4, WalScheme::Ba)).unwrap();
+            ServiceDriver::run_sessions(&mut pool).unwrap()
         };
         assert_eq!(run(), run());
     }
 
     #[test]
     fn ba_scheme_commits_faster_than_block_on_the_same_chassis() {
-        let ba = TenantPool::new(device(4), quick_cfg(4, WalScheme::Ba))
-            .unwrap()
-            .run()
-            .unwrap();
-        let block = TenantPool::new(device(4), quick_cfg(4, WalScheme::Block))
-            .unwrap()
-            .run()
-            .unwrap();
+        let mut ba_pool = TenantPool::new(device(4), quick_cfg(4, WalScheme::Ba)).unwrap();
+        let ba = ServiceDriver::run_sessions(&mut ba_pool).unwrap();
+        let mut block_pool = TenantPool::new(device(4), quick_cfg(4, WalScheme::Block)).unwrap();
+        let block = ServiceDriver::run_sessions(&mut block_pool).unwrap();
         assert!(
             ba.p99_us < block.p99_us,
             "ba p99 {} should beat block p99 {}",

@@ -97,31 +97,33 @@ impl YcsbWorkload {
         &self.cfg
     }
 
-    /// The key string for a rank, YCSB-style.
+    /// The key string for a rank, YCSB-style (see [`crate::gen::key_for`]).
     pub fn key_for(rank: u64) -> Vec<u8> {
-        format!("user{rank:012}").into_bytes()
+        crate::gen::key_for(rank)
     }
 
     /// Keys and values for the load phase, one per record.
     pub fn load_phase(&self, rng: &mut SimRng) -> Vec<(Vec<u8>, Vec<u8>)> {
         (0..self.cfg.records)
             .map(|rank| {
-                let mut value = vec![0u8; self.cfg.payload_bytes];
-                rng.fill_bytes(&mut value);
-                (Self::key_for(rank), value)
+                (
+                    crate::gen::key_for(rank),
+                    crate::gen::payload(rng, self.cfg.payload_bytes),
+                )
             })
             .collect()
     }
 
     /// Draws the next operation.
     pub fn next_op(&mut self, rng: &mut SimRng) -> YcsbOp {
-        let key = Self::key_for(self.zipf.sample(rng));
+        let key = crate::gen::zipf_key(&self.zipf, rng);
         if rng.chance(self.cfg.read_fraction) {
             YcsbOp::Read { key }
         } else {
-            let mut value = vec![0u8; self.cfg.payload_bytes];
-            rng.fill_bytes(&mut value);
-            YcsbOp::Update { key, value }
+            YcsbOp::Update {
+                key,
+                value: crate::gen::payload(rng, self.cfg.payload_bytes),
+            }
         }
     }
 }

@@ -1,0 +1,125 @@
+//! Property-based tests of the open-loop serving stack: determinism,
+//! drive equivalence on the sharded device model, and the overload
+//! contract of admission control.
+
+use proptest::prelude::*;
+use twob_workloads::{
+    ArrivalConfig, ArrivalKind, ServeConfig, ServiceDriver, ShardDrive, WalScheme,
+};
+
+/// A serving configuration drawn from the property space: any arrival
+/// process, either commit scheme, a light-to-busy offered rate, and a
+/// short horizon so debug-build cases stay cheap.
+fn any_kind() -> impl Strategy<Value = ArrivalKind> {
+    prop_oneof![
+        Just(ArrivalKind::Poisson),
+        Just(ArrivalKind::Bursty),
+        Just(ArrivalKind::Diurnal),
+    ]
+}
+
+fn any_config() -> impl Strategy<Value = ServeConfig> {
+    (
+        any_kind(),
+        prop_oneof![Just(WalScheme::Ba), Just(WalScheme::Block)],
+        2u16..12,
+        5_000u64..60_000,
+        any::<u64>(),
+    )
+        .prop_map(|(kind, scheme, tenants, rate, seed)| {
+            let mut cfg =
+                ServeConfig::standard(tenants, scheme, ArrivalConfig::new(kind, rate as f64, seed));
+            cfg.horizon = twob_sim::SimDuration::from_micros(2_000);
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two runs of the same configuration produce the identical report —
+    /// every field, including the completion digest — under every arrival
+    /// process and both schemes.
+    #[test]
+    fn serve_runs_twice_identically(cfg in any_config()) {
+        let a = ServiceDriver::serve(&cfg);
+        let b = ServiceDriver::serve(&cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.clamped_posts, 0);
+    }
+
+    /// On the sharded device model the lock-step, adaptive, and parallel
+    /// drives are interchangeable: one completion digest (and one report)
+    /// regardless of how the shards were scheduled, under every arrival
+    /// process.
+    #[test]
+    fn sharded_drives_are_digest_equal(
+        kind in any_kind(),
+        groups in prop_oneof![Just(2usize), Just(4)],
+        per_group in 2u16..6,
+        rate in 10_000u64..50_000,
+        seed in any::<u64>(),
+    ) {
+        let tenants = groups as u16 * per_group;
+        let mut cfg = ServeConfig::standard(
+            tenants,
+            WalScheme::Ba,
+            ArrivalConfig::new(kind, rate as f64, seed),
+        );
+        cfg.horizon = twob_sim::SimDuration::from_micros(2_000);
+        let lockstep = ServiceDriver::serve_sharded(&cfg, groups, ShardDrive::Lockstep);
+        let adaptive = ServiceDriver::serve_sharded(&cfg, groups, ShardDrive::Adaptive);
+        let parallel = ServiceDriver::serve_sharded(&cfg, groups, ShardDrive::Parallel(2));
+        prop_assert_eq!(&adaptive, &lockstep);
+        prop_assert_eq!(&parallel, &lockstep);
+        prop_assert_eq!(lockstep.clamped_posts, 0);
+    }
+
+    /// The overload contract: past the admission cap, shedding kicks in
+    /// and grows with offered load, while what *was* admitted keeps a
+    /// bounded tail — the deferral cap plus the device's own service
+    /// time — and nothing is ever posted into the past.
+    #[test]
+    fn overload_sheds_and_bounds_the_admitted_tail(
+        kind in any_kind(),
+        tenants in 2u16..8,
+        rate in 150_000u64..300_000,
+        seed in any::<u64>(),
+    ) {
+        let config = |r: u64| {
+            let mut cfg = ServeConfig::standard(
+                tenants,
+                WalScheme::Ba,
+                ArrivalConfig::new(kind, r as f64, seed),
+            );
+            cfg.horizon = twob_sim::SimDuration::from_micros(2_000);
+            cfg
+        };
+        let cfg = config(rate);
+        let report = ServiceDriver::serve(&cfg);
+        prop_assert_eq!(report.clamped_posts, 0);
+        prop_assert!(
+            report.shed_queue + report.shed_buffer > 0,
+            "offered {} ops/s/tenant should overload the admission cap",
+            rate
+        );
+        // Admitted commits wait at most the deferral cap before submit,
+        // then clear a device that admission keeps under its sustainable
+        // rate: the tail stays within the cap plus a service allowance.
+        let cap_us = cfg.window.as_nanos() as f64 / 1e3 * (cfg.defer_windows + 1) as f64;
+        prop_assert!(
+            report.p99_us <= cap_us + 100.0,
+            "admitted p99 {} us escaped the deferral cap {} us",
+            report.p99_us,
+            cap_us
+        );
+        // More offered load can only shed more.
+        let heavier = ServiceDriver::serve(&config(rate * 2));
+        prop_assert!(
+            heavier.shed_queue + heavier.shed_buffer >= report.shed_queue + report.shed_buffer,
+            "doubling offered load reduced shedding: {} -> {}",
+            report.shed_queue + report.shed_buffer,
+            heavier.shed_queue + heavier.shed_buffer
+        );
+    }
+}
