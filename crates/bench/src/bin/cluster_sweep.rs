@@ -1,0 +1,66 @@
+//! Cluster sweep: fleet-scale commit and follower-read latency on BA vs
+//! block log hosts across node counts and placements, plus the pinned
+//! cluster fault sweep (node/rack/zone cuts, live shard moves).
+//!
+//! Flags:
+//!
+//! - `--gate-cluster` — enforce the cluster read floor: at every node
+//!   count and placement the BA hosts' follower-read p99 must undercut
+//!   the block hosts', and the parallel PDES drive must reproduce the
+//!   sequential run exactly.
+//!
+//! Virtual-time only, so the `json:` line is byte-stable across runs and
+//! machines; CI byte-diffs two invocations.
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate-cluster");
+    let sweep = twob_bench::cluster_sweep::run();
+    println!(
+        "Cluster sweep: {} shards x {} commits, 3-zone fleets (seed {:#x})\n",
+        twob_bench::cluster_sweep::SHARDS,
+        twob_bench::cluster_sweep::COMMITS_PER_SHARD,
+        twob_bench::cluster_sweep::SEED,
+    );
+    let table: Vec<Vec<String>> = sweep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                r.placement.clone(),
+                r.scheme.clone(),
+                r.released.to_string(),
+                r.reads.to_string(),
+                format!("{:.2}", r.commit_p50_us),
+                format!("{:.2}", r.read_p99_us),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &[
+            "nodes",
+            "placement",
+            "ship",
+            "released",
+            "reads",
+            "commit p50 us",
+            "read p99 us",
+        ],
+        &table,
+    );
+    println!(
+        "\nfault sweep: {} runs ({} with a live shard move), {} commits, {} reads, digest {}",
+        sweep.fault_runs,
+        sweep.fault_moved,
+        sweep.fault_released,
+        sweep.fault_reads,
+        sweep.fault_digest
+    );
+    if gate {
+        eprintln!("{}", twob_bench::cluster_sweep::check_gate(&sweep));
+    }
+    println!(
+        "\njson: {}",
+        serde_json::to_string(&sweep).expect("serialize cluster sweep")
+    );
+}

@@ -20,6 +20,7 @@
 //! | Multi-tenant sweep of §V co-location | [`mod@tenant_sweep`] | `tenant_sweep` |
 //! | Open-loop serving knee (beyond the paper) | [`mod@serve_sweep`] | `serve_sweep` |
 //! | Replication sweep (beyond the paper) | [`mod@repl_sweep`] | `repl_sweep` |
+//! | Cluster sweep (beyond the paper) | [`mod@cluster_sweep`] | `cluster_sweep` |
 //! | Kernel throughput (engine, not model) | [`mod@sim_throughput`] | `sim_throughput` |
 //!
 //! The `regen_golden` binary re-captures every fixture under
@@ -29,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cluster_sweep;
 pub mod commit_cost;
 pub mod fig10;
 pub mod fig7;

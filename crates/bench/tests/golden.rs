@@ -79,3 +79,10 @@ fn serve_sweep_json_is_byte_identical_to_capture() {
     let json = serde_json::to_string(&rows).expect("serialize serve sweep");
     assert_matches_golden("serve_sweep", &json);
 }
+
+#[test]
+fn cluster_sweep_json_is_byte_identical_to_capture() {
+    let sweep = twob_bench::cluster_sweep::run();
+    let json = serde_json::to_string(&sweep).expect("serialize cluster sweep");
+    assert_matches_golden("cluster_sweep", &json);
+}

@@ -55,6 +55,18 @@ subcommands:
                                          P crash-failover fault plans
                                          checking the no-acked-loss
                                          guarantee
+  cluster  --nodes N --shards S
+           --placement hash|range --rf R
+           --mode async|sync|semisync:K
+           --ship ba|block --commits C
+           --seed S --plans P [--json]   a fleet of replica sets on one
+                                         per-node PDES drive: failure-
+                                         domain placement across zones,
+                                         steady-state commit + follower-
+                                         read latency, then P cluster
+                                         fault plans (node/rack/zone cuts,
+                                         live shard moves) checking the
+                                         no-acked-loss guarantee
   replay   --trace FILE --device dc|ull  replay a block trace (W/R/T/F fmt)
   crash-demo                             durability windows of the byte path
   faults sweep --cuts N --seed S         crash-consistency sweep: N random
@@ -81,6 +93,7 @@ pub fn dispatch(parsed: &Parsed) -> CliResult {
         "tenants" => tenants(parsed),
         "serve" => serve(parsed),
         "repl" => repl(parsed),
+        "cluster" => cluster(parsed),
         "replay" => replay(parsed),
         "crash-demo" => crash_demo(),
         "faults" => faults(parsed),
@@ -738,6 +751,145 @@ fn repl(parsed: &Parsed) -> CliResult {
     }
 }
 
+fn cluster(parsed: &Parsed) -> CliResult {
+    use twob_repl::{fleet_sweep, CommitPolicy, Fleet, FleetConfig, PlacementKind, ShipScheme};
+
+    let nodes = parsed.u64_or("nodes", 9)?;
+    if !(3..=48).contains(&nodes) {
+        return Err("--nodes must be between 3 and 48".into());
+    }
+    let shards = parsed.u64_or("shards", 6)?;
+    if !(1..=64).contains(&shards) {
+        return Err("--shards must be between 1 and 64 (one pin-table entry each)".into());
+    }
+    let placement_name = parsed.str_or("placement", "hash");
+    let placement = PlacementKind::parse(&placement_name)
+        .ok_or_else(|| format!("--placement must be hash or range, not {placement_name:?}"))?;
+    let rf = parsed.u64_or("rf", 3)?;
+    if rf == 0 || rf > nodes {
+        return Err("--rf must be between 1 and --nodes".into());
+    }
+    let mode = parsed.str_or("mode", "semisync:1");
+    let policy = CommitPolicy::parse(&mode)
+        .ok_or_else(|| format!("--mode must be async, sync, or semisync:K, not {mode:?}"))?;
+    let ship = parsed.str_or("ship", "ba");
+    let scheme = ShipScheme::parse(&ship)
+        .ok_or_else(|| format!("--ship must be ba or block, not {ship:?}"))?;
+    let commits = parsed.u64_or("commits", 8)?;
+    if commits == 0 {
+        return Err("--commits must be positive".into());
+    }
+    let seed = parsed.u64_or("seed", 42)?;
+    let plans = parsed.u64_or("plans", 8)?;
+    let json = parsed.is_set("json");
+
+    let cfg = FleetConfig {
+        nodes: nodes as usize,
+        shards: shards as u16,
+        rf: rf as usize,
+        placement,
+        policy,
+        scheme,
+        commits_per_shard: commits,
+        seed,
+        ..FleetConfig::default()
+    };
+    let steady = Fleet::new(cfg)?.run();
+    let sweep = fleet_sweep(plans, seed);
+
+    if json {
+        #[derive(Debug, Serialize)]
+        #[allow(dead_code)]
+        struct SteadyJson {
+            nodes: u64,
+            shards: u64,
+            rf: u64,
+            placement: String,
+            mode: String,
+            ship: String,
+            seed: u64,
+            commits_per_shard: u64,
+            released: u64,
+            reads: u64,
+            commit_p50_us: f64,
+            read_p99_us: f64,
+            shard_digests: Vec<String>,
+            violations: Vec<String>,
+        }
+        #[derive(Debug, Serialize)]
+        #[allow(dead_code)]
+        struct SweepJson {
+            plans: u64,
+            runs: u64,
+            released: u64,
+            reads: u64,
+            moved: u64,
+            digest: String,
+            violations: Vec<String>,
+        }
+        #[derive(Debug, Serialize)]
+        #[allow(dead_code)]
+        struct ClusterJson {
+            steady: SteadyJson,
+            fault_sweep: SweepJson,
+        }
+        let out = ClusterJson {
+            steady: SteadyJson {
+                nodes,
+                shards,
+                rf,
+                placement: placement.to_string(),
+                mode: policy.to_string(),
+                ship: scheme.to_string(),
+                seed,
+                commits_per_shard: commits,
+                released: steady.released,
+                reads: steady.reads,
+                commit_p50_us: steady.commit_p50_us,
+                read_p99_us: steady.read_p99_us,
+                shard_digests: steady
+                    .shard_digests
+                    .iter()
+                    .map(|d| format!("{d:016x}"))
+                    .collect(),
+                violations: steady.violations.clone(),
+            },
+            fault_sweep: SweepJson {
+                plans,
+                runs: sweep.runs,
+                released: sweep.released,
+                reads: sweep.reads,
+                moved: sweep.moved,
+                digest: format!("{:016x}", sweep.digest),
+                violations: sweep.violations.clone(),
+            },
+        };
+        println!("json: {}", serde_json::to_string(&out)?);
+    } else {
+        println!(
+            "fleet:        {nodes} nodes / 3 zones, {shards} shard(s) x rf {rf}, \
+             {placement} placement"
+        );
+        println!("commit path:  {mode} over {ship} ship (seed {seed}, {commits} commits/shard)");
+        println!(
+            "steady state: released {}, {} follower reads, commit p50 {:.2} us, \
+             read p99 {:.2} us",
+            steady.released, steady.reads, steady.commit_p50_us, steady.read_p99_us
+        );
+        println!("config log:   {} entries", steady.config_log.len());
+        for v in &steady.violations {
+            println!("VIOLATION: {v}");
+        }
+        println!("\n{sweep}");
+    }
+    let broken = steady.violations.len() + sweep.violations.len();
+    if broken == 0 {
+        Ok(())
+    } else {
+        Err(format!("{broken} cluster invariant violation(s)").into())
+    }
+}
+
 fn replay(parsed: &Parsed) -> CliResult {
     use twob_workloads::{parse_trace, replay_trace};
     let path = parsed.str_or("trace", "");
@@ -913,6 +1065,24 @@ mod tests {
             "9",
         ])
         .unwrap();
+        run(&[
+            "cluster",
+            "--nodes",
+            "9",
+            "--shards",
+            "4",
+            "--placement",
+            "range",
+            "--mode",
+            "sync",
+            "--commits",
+            "6",
+            "--plans",
+            "1",
+            "--seed",
+            "11",
+        ])
+        .unwrap();
         run(&["help"]).unwrap();
     }
 
@@ -929,6 +1099,21 @@ mod tests {
             "1",
             "--seed",
             "4",
+            "--json",
+        ])
+        .unwrap();
+        run(&[
+            "cluster",
+            "--nodes",
+            "9",
+            "--shards",
+            "4",
+            "--commits",
+            "6",
+            "--plans",
+            "1",
+            "--seed",
+            "11",
             "--json",
         ])
         .unwrap();
@@ -960,6 +1145,15 @@ mod tests {
         assert!(run(&["repl", "--engine", "mysql"]).is_err());
         assert!(run(&["repl", "--replicas", "0"]).is_err());
         assert!(run(&["repl", "--commits", "0"]).is_err());
+        assert!(run(&["cluster", "--nodes", "2"]).is_err());
+        assert!(run(&["cluster", "--nodes", "49"]).is_err());
+        assert!(run(&["cluster", "--shards", "0"]).is_err());
+        assert!(run(&["cluster", "--placement", "ring"]).is_err());
+        assert!(run(&["cluster", "--rf", "0"]).is_err());
+        assert!(run(&["cluster", "--nodes", "4", "--rf", "5"]).is_err());
+        assert!(run(&["cluster", "--mode", "carrier-pigeon"]).is_err());
+        assert!(run(&["cluster", "--ship", "floppy"]).is_err());
+        assert!(run(&["cluster", "--commits", "0"]).is_err());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use harness::{
     check_log_prefix, run_schedule, sweep, throwaway_wal, Engine, EngineKind, ScheduleReport,
     SchemeKind, SweepReport, Workload,
 };
-pub use plan::{FaultPlan, FlushFault, ReplFaultPlan, ShipFault};
+pub use plan::{ClusterFaultPlan, CutScope, FaultPlan, FlushFault, ReplFaultPlan, ShipFault};
 
 use proptest::prelude::*;
 

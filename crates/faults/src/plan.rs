@@ -176,9 +176,131 @@ impl ReplFaultPlan {
     }
 }
 
+/// The failure domain a cluster-level power cut takes out at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutScope {
+    /// One node loses power.
+    Node,
+    /// Every node in one rack loses power (correlated PDU failure).
+    Rack,
+    /// Every node in one zone loses power (correlated facility failure).
+    Zone,
+}
+
+/// One deterministic cluster fault schedule: a fleet of nodes spread over
+/// `zones * racks_per_zone` failure domains, a bounded per-shard commit
+/// stream, one correlated power cut scoped to a node, rack, or zone, and
+/// optionally a live shard move racing the traffic.
+///
+/// Like the other plans, values are fully derived from the seed, so any
+/// sweep failure replays from `(plan seed, placement, policy)` alone. The
+/// cut's failure-domain footprint always stays within what rf=3,
+/// zone-disjoint placement tolerates: at most one zone's worth of replicas
+/// per shard, so a quorum of the surviving two zones keeps every
+/// acknowledged commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterFaultPlan {
+    /// Seed for plan-derived randomness, payloads, and network jitter.
+    pub seed: u64,
+    /// Fleet size.
+    pub nodes: usize,
+    /// Availability zones (always ≥ 3 so rf=3 can be zone-disjoint).
+    pub zones: u32,
+    /// Racks inside each zone.
+    pub racks_per_zone: u32,
+    /// Logical shards placed across the fleet.
+    pub shards: u16,
+    /// Commits issued per shard before the cut settles.
+    pub commits_per_shard: u64,
+    /// What the correlated cut takes out.
+    pub scope: CutScope,
+    /// Which domain dies: a node index, rack index, or zone index
+    /// (interpreted under `scope`, already reduced into range).
+    pub victim: usize,
+    /// Nanoseconds after traffic start at which the cut lands — mid
+    /// protocol, never aligned to a commit boundary.
+    pub cut_delay_ns: u64,
+    /// A live shard move racing the traffic: `(shard, after_release)` —
+    /// the mover starts once that many commits have been released
+    /// cluster-wide. `None` for a static placement.
+    pub shard_move: Option<(u16, u64)>,
+}
+
+impl ClusterFaultPlan {
+    /// Derives a random-but-deterministic cluster plan from `seed`.
+    pub fn random(seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed ^ 0xC1A5_7E2B_C1A5_7E2B);
+        let zones = 3u32;
+        let racks_per_zone = 1 + rng.next_u64_below(2) as u32; // 1..=2
+        let nodes = 9 + rng.next_u64_below(7) as usize; // 9..=15
+        let shards = 4 + rng.next_u64_below(5) as u16; // 4..=8
+        let commits_per_shard = 6 + rng.next_u64_below(7); // 6..=12
+        let scope = match rng.next_u64_below(3) {
+            0 => CutScope::Node,
+            1 => CutScope::Rack,
+            _ => CutScope::Zone,
+        };
+        let domains = match scope {
+            CutScope::Node => nodes as u64,
+            CutScope::Rack => u64::from(zones * racks_per_zone),
+            CutScope::Zone => u64::from(zones),
+        };
+        let victim = rng.next_u64_below(domains) as usize;
+        let shard_move = if rng.chance(0.5) {
+            let shard = rng.next_u64_below(u64::from(shards)) as u16;
+            let total = commits_per_shard * u64::from(shards);
+            Some((shard, rng.next_u64_below(total.max(1) / 2)))
+        } else {
+            None
+        };
+        ClusterFaultPlan {
+            seed,
+            nodes,
+            zones,
+            racks_per_zone,
+            shards,
+            commits_per_shard,
+            scope,
+            victim,
+            cut_delay_ns: 20_000 + rng.next_u64_below(380_000),
+            shard_move,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cluster_plans_are_deterministic_and_bounded() {
+        assert_eq!(ClusterFaultPlan::random(7), ClusterFaultPlan::random(7));
+        assert_ne!(ClusterFaultPlan::random(1), ClusterFaultPlan::random(2));
+        for seed in 0..300 {
+            let p = ClusterFaultPlan::random(seed);
+            assert!((9..=15).contains(&p.nodes));
+            assert_eq!(p.zones, 3, "rf=3 zone-disjointness needs 3 zones");
+            assert!((1..=2).contains(&p.racks_per_zone));
+            assert!((4..=8).contains(&p.shards));
+            assert!((6..=12).contains(&p.commits_per_shard));
+            let domains = match p.scope {
+                CutScope::Node => p.nodes,
+                CutScope::Rack => (p.zones * p.racks_per_zone) as usize,
+                CutScope::Zone => p.zones as usize,
+            };
+            assert!(p.victim < domains, "victim outside its domain space");
+            assert!((20_000..400_000).contains(&p.cut_delay_ns));
+            if let Some((shard, after)) = p.shard_move {
+                assert!(shard < p.shards);
+                assert!(after < p.commits_per_shard * u64::from(p.shards));
+            }
+        }
+        // All three scopes actually occur across a modest seed range.
+        let scopes: Vec<CutScope> = (0..48).map(|s| ClusterFaultPlan::random(s).scope).collect();
+        for want in [CutScope::Node, CutScope::Rack, CutScope::Zone] {
+            assert!(scopes.contains(&want), "{want:?} never drawn in 48 plans");
+        }
+    }
 
     #[test]
     fn repl_plans_are_deterministic_and_bounded() {

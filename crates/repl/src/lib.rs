@@ -45,11 +45,18 @@
 mod cluster;
 mod config;
 mod failover;
+mod fleet;
 mod link;
+mod placement;
 mod set;
 
 pub use cluster::{ClusterConfig, ClusterReport, ShardedReplCluster};
 pub use config::{CommitPolicy, ReplConfig, ShipScheme};
 pub use failover::{failover_sweep, run_failover, FailoverReport, ReplSweepReport};
+pub use fleet::{
+    fleet_sweep, joint_rule, release_rule, rule_met, Fleet, FleetConfig, FleetCut, FleetReport,
+    FleetSweepReport, RuleClause, ShardMove,
+};
 pub use link::{NetLink, NetLinkConfig};
+pub use placement::{ClusterMap, DomainLayout, PlacementKind};
 pub use set::{ReplicaSet, SteadyReport};

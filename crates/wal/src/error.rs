@@ -35,6 +35,22 @@ pub enum WalError {
     },
     /// The decoded tail is inconsistent (conflicting payloads for one LSN).
     CorruptTail(String),
+    /// An append at or past a slot's fence LSN — the old owner of a moved
+    /// shard tried to write past the handoff point.
+    Fenced {
+        /// The fence the slot was sealed at.
+        fence: u64,
+        /// The rejected record's LSN.
+        got: u64,
+    },
+    /// A shipped record whose LSN is not the slot's next: the dense-stream
+    /// check that turns a dropped or reordered shipment into a loud error.
+    OutOfOrder {
+        /// The LSN the slot expected next.
+        expected: u64,
+        /// The shipped record's LSN.
+        got: u64,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -52,6 +68,18 @@ impl fmt::Display for WalError {
                 "cursor lag: lsn:{requested} already overwritten, oldest readable is lsn:{oldest}"
             ),
             WalError::CorruptTail(msg) => write!(f, "corrupt log tail: {msg}"),
+            WalError::Fenced { fence, got } => {
+                write!(
+                    f,
+                    "slot fenced at lsn:{fence}, rejected append of lsn:{got}"
+                )
+            }
+            WalError::OutOfOrder { expected, got } => {
+                write!(
+                    f,
+                    "out-of-order ship: expected lsn:{expected}, got lsn:{got}"
+                )
+            }
         }
     }
 }

@@ -51,6 +51,7 @@ mod config;
 mod cursor;
 mod error;
 mod group;
+mod host;
 mod pm;
 mod record;
 mod replay;
@@ -64,6 +65,7 @@ pub use config::{CommitMode, WalConfig};
 pub use cursor::{CursorBatch, LogCursor, WalTail};
 pub use error::WalError;
 pub use group::{GroupCommit, GroupOutcome};
+pub use host::{HostConfig, HostMode, ShardWalHost};
 pub use pm::PmWal;
 pub use record::{LogRecord, Lsn};
 pub use replay::{decode_stream, replay, ReplayOutcome};
