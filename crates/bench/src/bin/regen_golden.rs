@@ -44,6 +44,7 @@ fn main() {
     moved += write_fixture("repl_sweep", &twob_bench::repl_sweep::run()) as u32;
     moved += write_fixture("serve_sweep", &twob_bench::serve_sweep::run()) as u32;
     moved += write_fixture("cluster_sweep", &twob_bench::cluster_sweep::run()) as u32;
+    moved += write_fixture("tier_sweep", &twob_bench::tier_sweep::run()) as u32;
     if moved == 0 {
         println!("\nall fixtures already match the current simulator");
     } else {

@@ -1,7 +1,20 @@
 //! Tenant sweep: per-tenant commit latency as 1 → 64 mixed-engine tenants
-//! share one 2B-SSD, BA-WAL vs block-WAL.
+//! share one 2B-SSD, BA-WAL vs block-WAL — plus the sharded-placement
+//! section routing the fleet through the `ShardedIoCalendar` path shared
+//! with the tier sweep.
 
+use serde::Serialize;
+use twob_bench::tenant_sweep::{Row, ShardedRow, SHARDED_GROUPS, SHARDED_TENANTS};
 use twob_workloads::WalScheme;
+
+/// The deterministic `json:` payload: ladder rows plus the sharded
+/// placement agreement.
+#[derive(Debug, Serialize)]
+#[allow(dead_code)]
+struct Outcome {
+    rows: Vec<Row>,
+    sharded: Vec<ShardedRow>,
+}
 
 fn main() {
     let rows = twob_bench::tenant_sweep::run();
@@ -47,8 +60,22 @@ fn main() {
             None => println!("\n{} knee: none within the sweep", scheme.label()),
         }
     }
+    let sharded = twob_bench::tenant_sweep::sharded(SHARDED_TENANTS, SHARDED_GROUPS);
+    for row in &sharded {
+        println!(
+            "\n{} sharded agreement: {} tenants x {} groups, shards {:?}, \
+             drives [{}] all at digest {}",
+            row.scheme,
+            row.tenants,
+            row.groups,
+            row.shards,
+            row.drives.join(", "),
+            row.digest
+        );
+    }
+    let outcome = Outcome { rows, sharded };
     println!(
         "\njson: {}",
-        serde_json::to_string(&rows).expect("serialize tenant sweep")
+        serde_json::to_string(&outcome).expect("serialize tenant sweep")
     );
 }

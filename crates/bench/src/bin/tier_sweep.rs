@@ -1,0 +1,207 @@
+//! Tier sweep: BA-MMIO vs CXL.mem vs block commits across the three
+//! engines and the queue-depth ladder, the serve-mode rung per scheme,
+//! the [`TieredWal`] hot/cold cycle through both byte front-ends, and the
+//! sharded drive × placement agreement digest for the CXL path.
+//!
+//! Flags:
+//!
+//! - `--write` — refresh `BENCH_tier_sweep.json` at the repo root;
+//! - `--gate-tier` — enforce the tiering headline: the CXL hot tier's
+//!   p99 must beat block's in every closed-loop cell and in serve mode,
+//!   every tier path's hot read must beat its cold read, and every
+//!   sharded drive and placement must agree on one digest.
+//!
+//! Everything here is virtual-time measurement, so the `json:` line is
+//! byte-stable across runs and machines, and CI byte-diffs two
+//! invocations.
+//!
+//! [`TieredWal`]: twob_cxl::TieredWal
+
+use serde::Serialize;
+use twob_bench::tier_sweep::{
+    self, TierPathRow, TierRow, TierServeRow, TierShardedAgreement, TierSweep, QDS, SEED,
+    SERVE_RATE, TENANTS,
+};
+
+/// Tracked baseline location, resolved relative to this crate so the
+/// binary works from any working directory.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tier_sweep.json");
+
+/// Everything the sweep determined, all of it deterministic.
+#[derive(Debug, Serialize)]
+#[allow(dead_code)] // fields are read through Debug by the serializer
+struct Outcome {
+    schema: &'static str,
+    tenants: u16,
+    qds: Vec<usize>,
+    serve_rate_per_tenant: u64,
+    seed: u64,
+    rows: Vec<TierRow>,
+    serve: Vec<TierServeRow>,
+    paths: Vec<TierPathRow>,
+    sharded: TierShardedAgreement,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let write = args.iter().any(|a| a == "--write");
+    let gate = args.iter().any(|a| a == "--gate-tier");
+
+    let TierSweep {
+        rows,
+        serve,
+        paths,
+        sharded,
+    } = tier_sweep::run();
+    let outcome = Outcome {
+        schema: "tier-sweep-v1",
+        tenants: TENANTS,
+        qds: QDS.to_vec(),
+        serve_rate_per_tenant: SERVE_RATE,
+        seed: SEED,
+        rows,
+        serve,
+        paths,
+        sharded,
+    };
+    print_outcome(&outcome);
+
+    if gate {
+        let sweep = TierSweep {
+            rows: outcome.rows.clone(),
+            serve: outcome.serve.clone(),
+            paths: outcome.paths.clone(),
+            sharded: outcome.sharded.clone(),
+        };
+        if let Err(violation) = tier_sweep::gate(&sweep) {
+            panic!("tier gate failed: {violation}");
+        }
+        for path in &outcome.paths {
+            assert!(
+                path.hot_read_us < path.cold_read_us,
+                "tier gate failed: {} hot read {} us did not beat cold read {} us",
+                path.front_end,
+                path.hot_read_us,
+                path.cold_read_us
+            );
+        }
+        eprintln!(
+            "tier gate passed: cxl p99 beats block in all {} cells and serve mode, \
+             {} sharded drives x {} placements digest-equal at {} tenants",
+            outcome.rows.len() / 3,
+            outcome.sharded.drives.len(),
+            outcome.sharded.shards.len(),
+            outcome.sharded.tenants
+        );
+    }
+    if write {
+        let mut text = serde_json::to_string(&outcome).expect("serialize bench file");
+        text.push('\n');
+        std::fs::write(BENCH_PATH, text).expect("write BENCH_tier_sweep.json");
+        eprintln!("wrote {BENCH_PATH}");
+    }
+}
+
+/// Prints the human tables and the deterministic `json:` line.
+fn print_outcome(outcome: &Outcome) {
+    println!(
+        "Tier sweep: {} tenants, QDs {:?}, engines pg/rocks/redis, seed {}\n",
+        outcome.tenants, outcome.qds, outcome.seed
+    );
+    let rows: Vec<Vec<String>> = outcome
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.clone(),
+                r.qd.to_string(),
+                r.scheme.clone(),
+                r.commits.to_string(),
+                format!("{:.1}", r.grouped_pct),
+                format!("{:.2}", r.p50_us),
+                format!("{:.2}", r.p99_us),
+                format!("{:.0}", r.commits_per_sec),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &[
+            "engine",
+            "qd",
+            "scheme",
+            "commits",
+            "grp %",
+            "p50 us",
+            "p99 us",
+            "commits/s",
+        ],
+        &rows,
+    );
+    println!(
+        "\nserve mode: {} commits/s/tenant offered",
+        outcome.serve_rate_per_tenant
+    );
+    let serve_rows: Vec<Vec<String>> = outcome
+        .serve
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                r.offered.to_string(),
+                r.admitted.to_string(),
+                r.shed.to_string(),
+                format!("{:.2}", r.p50_us),
+                format!("{:.2}", r.p99_us),
+                format!("{:.2}", r.p999_us),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &[
+            "scheme", "offered", "admitted", "shed", "p50 us", "p99 us", "p999 us",
+        ],
+        &serve_rows,
+    );
+    println!("\ntier paths (hot tail, demote to NAND, promote back):");
+    let path_rows: Vec<Vec<String>> = outcome
+        .paths
+        .iter()
+        .map(|p| {
+            vec![
+                p.front_end.clone(),
+                format!("{:.2}", p.commit_us),
+                format!("{:.2}", p.cold_read_us),
+                format!("{:.2}", p.hot_read_us),
+                p.promotions.to_string(),
+                p.demotions.to_string(),
+                p.hot_hits.to_string(),
+                p.cold_hits.to_string(),
+            ]
+        })
+        .collect();
+    twob_bench::print_table(
+        &[
+            "front-end",
+            "commit us",
+            "cold rd us",
+            "hot rd us",
+            "promo",
+            "demo",
+            "hot",
+            "cold",
+        ],
+        &path_rows,
+    );
+    println!(
+        "\nsharded agreement: {} tenants x {} groups, shards {:?}, drives [{}] all at digest {}",
+        outcome.sharded.tenants,
+        outcome.sharded.groups,
+        outcome.sharded.shards,
+        outcome.sharded.drives.join(", "),
+        outcome.sharded.digest
+    );
+    println!(
+        "\njson: {}",
+        serde_json::to_string(outcome).expect("serialize outcome")
+    );
+}

@@ -21,6 +21,7 @@
 //! | Open-loop serving knee (beyond the paper) | [`mod@serve_sweep`] | `serve_sweep` |
 //! | Replication sweep (beyond the paper) | [`mod@repl_sweep`] | `repl_sweep` |
 //! | Cluster sweep (beyond the paper) | [`mod@cluster_sweep`] | `cluster_sweep` |
+//! | BA/CXL/block tier sweep (beyond the paper) | [`mod@tier_sweep`] | `tier_sweep` |
 //! | Kernel throughput (engine, not model) | [`mod@sim_throughput`] | `sim_throughput` |
 //!
 //! The `regen_golden` binary re-captures every fixture under
@@ -43,6 +44,7 @@ pub mod serve_sweep;
 pub mod sim_throughput;
 pub mod table1;
 pub mod tenant_sweep;
+pub mod tier_sweep;
 
 /// Prints a simple aligned table: a header row then data rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

@@ -19,14 +19,32 @@
 //! tenant count, and where is the interference knee — the count at which
 //! p99 departs from the single-tenant baseline by more than
 //! [`KNEE_FACTOR`]×?
+//!
+//! A final section routes the tenant fleet through the
+//! `ShardedIoCalendar` placement path (the one the tier sweep uses):
+//! every scheme's commit traffic across [`SHARDED_GROUPS`] die groups,
+//! under every shard drive and two group→shard placements, pinned to one
+//! completion digest per scheme.
 
 use serde::{Deserialize, Serialize};
 use twob_core::{TwoBSpec, TwoBSsd};
 use twob_ssd::SsdConfig;
-use twob_workloads::{EngineKind, ServiceDriver, TenantPool, TenantPoolConfig, WalScheme};
+use twob_workloads::{
+    ArrivalConfig, ArrivalKind, EngineKind, ServeConfig, ServiceDriver, ShardDrive, TenantPool,
+    TenantPoolConfig, WalScheme,
+};
 
 /// Tenant counts the sweep visits.
 pub const TENANT_COUNTS: [u16; 4] = [1, 4, 16, 64];
+
+/// Fleet size of the sharded-placement section.
+pub const SHARDED_TENANTS: u16 = 64;
+
+/// Die groups the sharded fleet is placed across.
+pub const SHARDED_GROUPS: usize = 4;
+
+/// Per-tenant offered rate of the sharded section, commits per second.
+pub const SHARDED_RATE: u64 = 20_000;
 
 /// A tenant count "knees" when its p99 exceeds this multiple of the
 /// single-tenant p99 for the same scheme.
@@ -118,6 +136,96 @@ pub fn run() -> Vec<Row> {
     rows
 }
 
+/// One scheme's pass through the sharded placement path: the tenant
+/// fleet's commit traffic placed across [`SHARDED_GROUPS`] die groups on
+/// the `ShardedIoCalendar`, under every drive and two group→shard
+/// placements — the same path the tier sweep runs, so tiering rows and
+/// tenant rows agree on what placement means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Fleet size.
+    pub tenants: u16,
+    /// Die groups.
+    pub groups: usize,
+    /// Shard counts swept.
+    pub shards: Vec<usize>,
+    /// Drive labels that agreed.
+    pub drives: Vec<String>,
+    /// The one completion digest, hex.
+    pub digest: String,
+    /// Commits completed (identical everywhere).
+    pub completed: u64,
+}
+
+/// Routes one scheme's tenant fleet through every sharded drive and two
+/// placements, demanding a single digest.
+///
+/// # Panics
+///
+/// Panics if any drive or placement diverges from the lock-step
+/// baseline — a determinism bug, not a measurement.
+pub fn sharded_row(scheme: WalScheme, tenants: u16, groups: usize) -> ShardedRow {
+    let cfg = ServeConfig::standard(
+        tenants,
+        scheme,
+        ArrivalConfig::new(ArrivalKind::Poisson, SHARDED_RATE as f64, SEED),
+    );
+    let drives = [
+        ShardDrive::Lockstep,
+        ShardDrive::Adaptive,
+        ShardDrive::Parallel(2),
+        ShardDrive::Parallel(4),
+    ];
+    let shards = vec![groups, (groups / 2).max(1)];
+    let mut baseline: Option<(u64, u64)> = None;
+    let mut labels = Vec::new();
+    for drive in drives {
+        for &shard_count in &shards {
+            let report = ServiceDriver::serve_sharded_placed(&cfg, groups, shard_count, drive);
+            assert_eq!(
+                report.clamped_posts,
+                0,
+                "{} {} drive on {shard_count} shards clamped",
+                scheme.label(),
+                drive.label()
+            );
+            let got = (report.digest, report.completed);
+            if let Some(base) = baseline {
+                assert_eq!(
+                    got,
+                    base,
+                    "{} {} drive on {shard_count} shards diverged",
+                    scheme.label(),
+                    drive.label()
+                );
+            } else {
+                baseline = Some(got);
+            }
+        }
+        labels.push(drive.label());
+    }
+    let (digest, completed) = baseline.expect("at least one drive ran");
+    ShardedRow {
+        scheme: scheme.label().to_string(),
+        tenants,
+        groups,
+        shards,
+        drives: labels,
+        digest: format!("{digest:016x}"),
+        completed,
+    }
+}
+
+/// The sharded-placement section: every scheme through the shared path.
+pub fn sharded(tenants: u16, groups: usize) -> Vec<ShardedRow> {
+    [WalScheme::Ba, WalScheme::Cxl, WalScheme::Block]
+        .into_iter()
+        .map(|scheme| sharded_row(scheme, tenants, groups))
+        .collect()
+}
+
 /// The interference knee for `scheme`: the smallest tenant count whose p99
 /// exceeds [`KNEE_FACTOR`] × the single-tenant p99, if any.
 pub fn knee(rows: &[Row], scheme: WalScheme) -> Option<u16> {
@@ -138,6 +246,17 @@ mod tests {
     #[test]
     fn one_cell_is_deterministic() {
         assert_eq!(cell(4, WalScheme::Ba), cell(4, WalScheme::Ba));
+    }
+
+    #[test]
+    fn sharded_placements_agree_for_every_scheme() {
+        // Fleet scale runs in the binary; the test pins the invariant at a
+        // size debug builds can afford.
+        for row in sharded(16, SHARDED_GROUPS) {
+            assert_eq!(row.drives.len(), 4, "{}: drives", row.scheme);
+            assert_eq!(row.shards, vec![4, 2], "{}: shards", row.scheme);
+            assert!(row.completed > 0, "{}: no commits", row.scheme);
+        }
     }
 
     #[test]

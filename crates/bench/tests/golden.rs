@@ -86,3 +86,10 @@ fn cluster_sweep_json_is_byte_identical_to_capture() {
     let json = serde_json::to_string(&sweep).expect("serialize cluster sweep");
     assert_matches_golden("cluster_sweep", &json);
 }
+
+#[test]
+fn tier_sweep_json_is_byte_identical_to_capture() {
+    let sweep = twob_bench::tier_sweep::run();
+    let json = serde_json::to_string(&sweep).expect("serialize tier sweep");
+    assert_matches_golden("tier_sweep", &json);
+}

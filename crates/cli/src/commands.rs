@@ -46,6 +46,13 @@ subcommands:
                                          arrival streams with admission
                                          control and SLO tracking, BA-WAL
                                          vs block-WAL on one device
+  tier     --n N --qd Q --mix pg,rocks,redis
+           --seed S --ops N [--json]     BA-MMIO vs CXL.mem vs block front-
+                                         ends on one device: closed-loop
+                                         commit latency per scheme, then the
+                                         tiered WAL's hot/cold cycle (tail
+                                         in the byte tier, demote to NAND,
+                                         promote back) per byte front-end
   repl     --replicas N --mode async|sync|semisync:K
            --rtt-us R --engine pg|rocks|redis
            --ship ba|block --seed S
@@ -92,6 +99,7 @@ pub fn dispatch(parsed: &Parsed) -> CliResult {
         "ycsb" => ycsb(parsed),
         "tenants" => tenants(parsed),
         "serve" => serve(parsed),
+        "tier" => tier(parsed),
         "repl" => repl(parsed),
         "cluster" => cluster(parsed),
         "replay" => replay(parsed),
@@ -617,6 +625,176 @@ fn serve(parsed: &Parsed) -> CliResult {
     Ok(())
 }
 
+fn tier(parsed: &Parsed) -> CliResult {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use twob_core::{IoCalendar, PinTable, TenantId};
+    use twob_cxl::{RegionFrontEnd, TierWalConfig, TieredWal};
+    use twob_wal::Lsn;
+    use twob_workloads::{EngineKind, ServiceDriver, TenantPool, TenantPoolConfig, WalScheme};
+
+    let n = parsed.u64_or("n", 4)?;
+    if !(1..=64).contains(&n) {
+        return Err("--n must be between 1 and 64 (the virtualized pin-table size)".into());
+    }
+    let qd = parsed.u64_or("qd", 4)?;
+    if qd == 0 {
+        return Err("--qd must be positive".into());
+    }
+    let mix = EngineKind::parse_mix(&parsed.str_or("mix", "pg,rocks,redis"))?;
+    let seed = parsed.u64_or("seed", 61)?;
+    let ops = parsed.u64_or("ops", 50)?;
+    if ops == 0 {
+        return Err("--ops must be positive".into());
+    }
+    let json = parsed.is_set("json");
+
+    #[derive(Debug, Serialize)]
+    #[allow(dead_code)]
+    struct TierJson {
+        scheme: String,
+        commits: u64,
+        grouped_pct: f64,
+        p50_us: f64,
+        p99_us: f64,
+        commits_per_sec: f64,
+    }
+    #[derive(Debug, Serialize)]
+    #[allow(dead_code)]
+    struct PathJson {
+        front_end: String,
+        commit_us: f64,
+        cold_read_us: f64,
+        hot_read_us: f64,
+        promotions: u64,
+        demotions: u64,
+    }
+
+    // Closed-loop commit latency per front-end: the same seeded tenants on
+    // a fresh device each time, 64 B payloads (the byte path's regime).
+    let device = || {
+        TwoBSsd::new(
+            SsdConfig::base_2b().bench_scale(),
+            TwoBSpec {
+                ba_buffer_bytes: 1 << 20,
+                max_entries: 64,
+                ..TwoBSpec::default()
+            },
+        )
+    };
+    if !json {
+        println!(
+            "{n} tenant(s) x qd {qd}, mix [{}], seed {seed}, {ops} ops/tenant\n",
+            mix.iter().map(|k| k.label()).collect::<Vec<_>>().join(",")
+        );
+        println!(
+            "{:<7} {:>8} {:>9} {:>10} {:>10} {:>10}",
+            "scheme", "commits", "grp %", "p50 us", "p99 us", "commit/s"
+        );
+    }
+    let mut rows = Vec::new();
+    for scheme in [WalScheme::Ba, WalScheme::Cxl, WalScheme::Block] {
+        let cfg = TenantPoolConfig {
+            clients_per_tenant: qd as usize,
+            ops_per_tenant: ops,
+            payload_bytes: 64,
+            ..TenantPoolConfig::standard(n as u16, mix.clone(), scheme, seed)
+        };
+        let mut pool = TenantPool::new(device(), cfg)?;
+        let report = ServiceDriver::run_sessions(&mut pool)?;
+        if json {
+            rows.push(TierJson {
+                scheme: report.scheme,
+                commits: report.commits,
+                grouped_pct: report.grouped_pct,
+                p50_us: report.p50_us,
+                p99_us: report.p99_us,
+                commits_per_sec: report.commits_per_sec,
+            });
+        } else {
+            println!(
+                "{:<7} {:>8} {:>9.1} {:>10.2} {:>10.2} {:>10.0}",
+                report.scheme,
+                report.commits,
+                report.grouped_pct,
+                report.p50_us,
+                report.p99_us,
+                report.commits_per_sec
+            );
+        }
+    }
+
+    // The tiered WAL's hot/cold cycle per byte front-end: fill past
+    // rotation, read a demoted record cold off NAND, promote it back, read
+    // it hot from the byte tier.
+    if !json {
+        println!("\ntiered WAL (hot tail, demote to NAND, promote back):");
+        println!(
+            "{:<9} {:>10} {:>11} {:>10} {:>6} {:>5}",
+            "front-end", "commit us", "cold rd us", "hot rd us", "promo", "demo"
+        );
+    }
+    let mut paths = Vec::new();
+    for front_end in [RegionFrontEnd::BaMmio, RegionFrontEnd::Cxl] {
+        let dev = Rc::new(RefCell::new(TwoBSsd::small_for_tests()));
+        let pins = Rc::new(RefCell::new(PinTable::new(dev.borrow().spec(), 1)?));
+        let cal = Rc::new(RefCell::new(IoCalendar::new()));
+        let cfg = TierWalConfig {
+            byte_front_end: front_end,
+            ..TierWalConfig::default()
+        };
+        let mut wal = TieredWal::new(dev, cal, pins, TenantId(0), cfg)?;
+        let mut t = SimTime::from_nanos(1_000_000);
+        let mut commit_us = 0.0;
+        let per_window = 64; // 128 B records in an 8 KiB window
+        for i in 0..(per_window * 2 + 1) {
+            let payload = vec![(i % 251) as u8; 128 - 16];
+            let out = wal.append(t, &payload)?;
+            if i == 0 {
+                commit_us = out.commit_at.saturating_since(t).as_nanos() as f64 / 1e3;
+            }
+            t = out.commit_at;
+        }
+        let (_, t1) = wal.read(t, Lsn(0))?;
+        let cold_read_us = t1.saturating_since(t).as_nanos() as f64 / 1e3;
+        let (_, t2) = wal.read(t1, Lsn(1))?;
+        let (_, t3) = wal.read(t2, Lsn(2))?;
+        let (_, t4) = wal.read(t3, Lsn(3))?;
+        let hot_read_us = t4.saturating_since(t3).as_nanos() as f64 / 1e3;
+        let stats = wal.stats();
+        if json {
+            paths.push(PathJson {
+                front_end: front_end.label().to_string(),
+                commit_us,
+                cold_read_us,
+                hot_read_us,
+                promotions: stats.promotions,
+                demotions: stats.demotions,
+            });
+        } else {
+            println!(
+                "{:<9} {:>10.2} {:>11.2} {:>10.2} {:>6} {:>5}",
+                front_end.label(),
+                commit_us,
+                cold_read_us,
+                hot_read_us,
+                stats.promotions,
+                stats.demotions
+            );
+        }
+    }
+    if json {
+        #[derive(Debug, Serialize)]
+        #[allow(dead_code)]
+        struct TierOut {
+            rows: Vec<TierJson>,
+            paths: Vec<PathJson>,
+        }
+        println!("json: {}", serde_json::to_string(&TierOut { rows, paths })?);
+    }
+    Ok(())
+}
+
 fn repl(parsed: &Parsed) -> CliResult {
     use twob_repl::{
         failover_sweep, CommitPolicy, NetLinkConfig, ReplConfig, ReplicaSet, ShipScheme,
@@ -1049,6 +1227,20 @@ mod tests {
             "400",
         ])
         .unwrap();
+        run(&[
+            "tier",
+            "--n",
+            "2",
+            "--qd",
+            "2",
+            "--mix",
+            "rocks,redis",
+            "--ops",
+            "20",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
         run(&["crash-demo"]).unwrap();
         run(&["faults", "sweep", "--cuts", "9", "--seed", "3"]).unwrap();
         run(&[
@@ -1091,6 +1283,7 @@ mod tests {
         run(&["gc", "--churn", "200", "--seed", "3", "--json"]).unwrap();
         run(&["tenants", "--n", "2", "--ops", "40", "--json"]).unwrap();
         run(&["serve", "--tenants", "2", "--rate", "30000", "--json"]).unwrap();
+        run(&["tier", "--n", "2", "--ops", "20", "--json"]).unwrap();
         run(&[
             "repl",
             "--commits",
@@ -1134,6 +1327,11 @@ mod tests {
         assert!(run(&["tenants", "--n", "2", "--ops", "0"]).is_err());
         assert!(run(&["serve", "--tenants", "0"]).is_err());
         assert!(run(&["serve", "--tenants", "257"]).is_err());
+        assert!(run(&["tier", "--n", "0"]).is_err());
+        assert!(run(&["tier", "--n", "65"]).is_err());
+        assert!(run(&["tier", "--qd", "0"]).is_err());
+        assert!(run(&["tier", "--ops", "0"]).is_err());
+        assert!(run(&["tier", "--mix", "pg,mysql"]).is_err());
         assert!(run(&["serve", "--arrival", "carrier-pigeon"]).is_err());
         assert!(run(&["serve", "--rate", "0"]).is_err());
         assert!(run(&["serve", "--slo-p99-us", "0"]).is_err());

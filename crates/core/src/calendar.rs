@@ -83,6 +83,36 @@ pub enum IoOp {
     /// Block-path flush: destages the device write cache (the NVMe FLUSH
     /// a block-WAL issues to make an appended record durable).
     BlockFlush,
+    /// CXL.mem cache-line store of `data` at `rel_offset` in the entry's
+    /// window.
+    CxlStore {
+        /// Entry to store into.
+        eid: EntryId,
+        /// Window-relative start.
+        rel_offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// CXL.mem load of `[rel_offset, rel_offset + len)` from the entry's
+    /// window (streamed 64-byte lines).
+    CxlLoad {
+        /// Entry to load from.
+        eid: EntryId,
+        /// Window-relative start.
+        rel_offset: u64,
+        /// Bytes to load.
+        len: u64,
+    },
+    /// CXL persist barrier over `[rel_offset, rel_offset + len)` — the
+    /// CXL analogue of [`IoOp::BaSyncRange`]'s durability point.
+    CxlPersist {
+        /// Entry to persist.
+        eid: EntryId,
+        /// Window-relative start.
+        rel_offset: u64,
+        /// Bytes to persist.
+        len: u64,
+    },
 }
 
 /// The completed form of one submitted operation.
@@ -245,6 +275,34 @@ pub(crate) fn dispatch_completion(
             Err(e) => (Err(e.into()), None, LatencyBreakdown::ZERO),
         },
         IoOp::BlockFlush => (Ok(dev.flush(t)), None, LatencyBreakdown::ZERO),
+        IoOp::CxlStore {
+            eid,
+            rel_offset,
+            data,
+        } => (
+            dev.cxl_store(t, eid, rel_offset, &data)
+                .map(|c| c.retired_at),
+            None,
+            LatencyBreakdown::ZERO,
+        ),
+        IoOp::CxlLoad {
+            eid,
+            rel_offset,
+            len,
+        } => match dev.cxl_load(t, eid, rel_offset, len) {
+            Ok(out) => (Ok(out.complete_at), Some(out.data), LatencyBreakdown::ZERO),
+            Err(e) => (Err(e), None, LatencyBreakdown::ZERO),
+        },
+        IoOp::CxlPersist {
+            eid,
+            rel_offset,
+            len,
+        } => (
+            dev.cxl_persist(t, eid, rel_offset, len)
+                .map(|c| c.complete_at),
+            None,
+            LatencyBreakdown::ZERO,
+        ),
     };
     match outcome {
         Ok(complete_at) => IoCompletion {
@@ -407,6 +465,100 @@ mod tests {
         cal.drive(&mut dev);
         let done = cal.drain_completions();
         assert_eq!(done[0].data.as_deref(), Some(&b"calendar bytes"[..]));
+    }
+
+    #[test]
+    fn cxl_ops_round_trip_data_through_calendar() {
+        let (mut dev, eids) = pinned_dev(&[0]);
+        let eid = eids[0];
+        let t = SimTime::from_nanos(1_000_000);
+        let mut cal = IoCalendar::new();
+        cal.submit(
+            t,
+            IoOp::CxlStore {
+                eid,
+                rel_offset: 0,
+                data: b"cxl bytes".to_vec(),
+            },
+        );
+        cal.drive(&mut dev);
+        let store = cal.drain_completions().pop().unwrap();
+        assert!(store.error.is_none(), "store failed: {:?}", store.error);
+        cal.submit(
+            store.complete_at,
+            IoOp::CxlPersist {
+                eid,
+                rel_offset: 0,
+                len: 9,
+            },
+        );
+        cal.drive(&mut dev);
+        let persist = cal.drain_completions().pop().unwrap();
+        assert!(persist.error.is_none());
+        assert!(persist.complete_at > store.complete_at);
+        cal.submit(
+            persist.complete_at,
+            IoOp::CxlLoad {
+                eid,
+                rel_offset: 0,
+                len: 9,
+            },
+        );
+        cal.drive(&mut dev);
+        let load = cal.drain_completions().pop().unwrap();
+        assert_eq!(load.data.as_deref(), Some(&b"cxl bytes"[..]));
+        assert_eq!(cal.clamped_posts(), 0);
+        let stats = dev.stats();
+        assert_eq!(
+            (stats.cxl_stores, stats.cxl_persists, stats.cxl_loads),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn cxl_commit_undercuts_mmio_commit_on_the_calendar() {
+        // The tier claim at the op level: store + persist through CXL
+        // completes earlier than the same bytes through MMIO + BA_SYNC.
+        let commit = |op_store: fn(EntryId) -> IoOp, op_sync: fn(EntryId) -> IoOp| {
+            let (mut dev, eids) = pinned_dev(&[0]);
+            let t = SimTime::from_nanos(1_000_000);
+            let mut cal = IoCalendar::new();
+            cal.submit(t, op_store(eids[0]));
+            cal.drive(&mut dev);
+            let store = cal.drain_completions().pop().unwrap();
+            cal.submit(store.complete_at, op_sync(eids[0]));
+            cal.drive(&mut dev);
+            cal.drain_completions().pop().unwrap().complete_at
+        };
+        let cxl = commit(
+            |eid| IoOp::CxlStore {
+                eid,
+                rel_offset: 0,
+                data: vec![7u8; 128],
+            },
+            |eid| IoOp::CxlPersist {
+                eid,
+                rel_offset: 0,
+                len: 128,
+            },
+        );
+        let mmio = {
+            let (mut dev, eids) = pinned_dev(&[0]);
+            let t = SimTime::from_nanos(1_000_000);
+            let store = dev.mmio_write(t, eids[0], 0, &[7u8; 128]).unwrap();
+            let mut cal = IoCalendar::new();
+            cal.submit(
+                store.retired_at,
+                IoOp::BaSyncRange {
+                    eid: eids[0],
+                    rel_offset: 0,
+                    len: 128,
+                },
+            );
+            cal.drive(&mut dev);
+            cal.drain_completions().pop().unwrap().complete_at
+        };
+        assert!(cxl < mmio, "cxl commit {cxl:?} should beat mmio {mmio:?}");
     }
 
     /// A device with background GC enabled, one BA entry pinned at the top

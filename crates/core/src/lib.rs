@@ -65,7 +65,7 @@ pub use device::{
 pub use dma::ReadDmaEngine;
 pub use error::TwoBError;
 pub use mapping::{EntryId, MappingEntry, MappingTable};
-pub use pin::{PinEntry, PinError, PinState, PinTable, TenantId};
+pub use pin::{PinEntry, PinError, PinState, PinTable, RegionFrontEnd, TenantId};
 pub use recovery::{DumpOutcome, RecoveryManager, RecoveryReport};
 pub use sharded::{GroupPlacement, ShardedIoCalendar};
 pub use shared::SharedTwoBSsd;

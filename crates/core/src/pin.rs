@@ -62,6 +62,43 @@ impl fmt::Display for PinState {
     }
 }
 
+/// Which front-end serves a region's accesses.
+///
+/// Pinned rows are byte-addressable through one of the two byte
+/// front-ends; `Block` labels a region the tier layer has demoted to
+/// block NAND (no live pin — reads go through the block path). The pin
+/// table therefore only ever holds `BaMmio` or `Cxl` rows.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum RegionFrontEnd {
+    /// PCIe BAR MMIO: posted writes through WC buffers, serialized
+    /// 8-byte read TLPs, `BA_SYNC` durability (the paper's byte path).
+    #[default]
+    BaMmio,
+    /// CXL.mem: cache-line loads/stores, persist-barrier durability.
+    Cxl,
+    /// Block NAND: no byte window; the region lives on flash.
+    Block,
+}
+
+impl RegionFrontEnd {
+    /// Stable label for reports and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RegionFrontEnd::BaMmio => "ba-mmio",
+            RegionFrontEnd::Cxl => "cxl",
+            RegionFrontEnd::Block => "block",
+        }
+    }
+}
+
+impl fmt::Display for RegionFrontEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// One live row of the pin table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PinEntry {
@@ -77,6 +114,8 @@ pub struct PinEntry {
     pub pages: u32,
     /// When the in-flight transition (pin load) completes.
     pub ready_at: SimTime,
+    /// Byte front-end serving this window's accesses.
+    pub front_end: RegionFrontEnd,
 }
 
 impl PinEntry {
@@ -132,6 +171,13 @@ pub enum PinError {
         /// Its current state.
         state: PinState,
     },
+    /// The requested front-end is not valid for a live pinned row.
+    BadFrontEnd {
+        /// The entry accessed.
+        eid: EntryId,
+        /// The rejected front-end.
+        front_end: RegionFrontEnd,
+    },
     /// No live pin-table row for this entry ID.
     NotPinned(EntryId),
     /// The pin table and the device mapping table disagree.
@@ -164,6 +210,9 @@ impl fmt::Display for PinError {
             }
             PinError::BadState { eid, state } => {
                 write!(f, "{eid} is {state}; operation not allowed")
+            }
+            PinError::BadFrontEnd { eid, front_end } => {
+                write!(f, "{eid} cannot use the {front_end} front-end while pinned")
             }
             PinError::NotPinned(eid) => write!(f, "no live pin for {eid}"),
             PinError::Parity(what) => write!(f, "pin-table/device parity lost: {what}"),
@@ -370,6 +419,7 @@ impl PinTable {
             lba,
             pages,
             ready_at: done.complete_at,
+            front_end: RegionFrontEnd::BaMmio,
         });
         Ok((eid, done))
     }
@@ -480,8 +530,34 @@ impl PinTable {
         Ok(entry)
     }
 
-    /// Byte-path store into an owned window (ownership-checked
-    /// [`TwoBSsd::mmio_write`]).
+    /// Selects which byte front-end serves an owned window's accesses.
+    /// The tier layer calls this on promotion/demotion between the two
+    /// byte tiers; a live pinned row cannot be `Block` (demotion to NAND
+    /// is an unpin, not a front-end switch).
+    ///
+    /// # Errors
+    ///
+    /// Ownership/state errors, or [`PinError::BadFrontEnd`] for `Block`.
+    pub fn set_front_end(
+        &mut self,
+        now: SimTime,
+        tenant: TenantId,
+        eid: EntryId,
+        front_end: RegionFrontEnd,
+    ) -> Result<(), PinError> {
+        if front_end == RegionFrontEnd::Block {
+            return Err(PinError::BadFrontEnd { eid, front_end });
+        }
+        self.owned_pinned(now, tenant, eid)?;
+        if let Some(entry) = self.entries[usize::from(eid.0)].as_mut() {
+            entry.front_end = front_end;
+        }
+        Ok(())
+    }
+
+    /// Byte-path store into an owned window, through the row's selected
+    /// front-end (ownership-checked [`TwoBSsd::mmio_write`] or
+    /// [`TwoBSsd::cxl_store`]).
     ///
     /// # Errors
     ///
@@ -495,12 +571,16 @@ impl PinTable {
         rel_offset: u64,
         data: &[u8],
     ) -> Result<MmioStoreOutcome, PinError> {
-        self.owned_pinned(now, tenant, eid)?;
-        Ok(dev.mmio_write(now, eid, rel_offset, data)?)
+        let entry = self.owned_pinned(now, tenant, eid)?;
+        match entry.front_end {
+            RegionFrontEnd::Cxl => Ok(dev.cxl_store(now, eid, rel_offset, data)?),
+            _ => Ok(dev.mmio_write(now, eid, rel_offset, data)?),
+        }
     }
 
     /// Persistence sync of `[rel_offset, rel_offset+len)` of an owned
-    /// window (ownership-checked [`TwoBSsd::ba_sync_range`]).
+    /// window, through the row's selected front-end (ownership-checked
+    /// [`TwoBSsd::ba_sync_range`] or [`TwoBSsd::cxl_persist`]).
     ///
     /// # Errors
     ///
@@ -514,12 +594,16 @@ impl PinTable {
         rel_offset: u64,
         len: u64,
     ) -> Result<ApiCompletion, PinError> {
-        self.owned_pinned(now, tenant, eid)?;
-        Ok(dev.ba_sync_range(now, eid, rel_offset, len)?)
+        let entry = self.owned_pinned(now, tenant, eid)?;
+        match entry.front_end {
+            RegionFrontEnd::Cxl => Ok(dev.cxl_persist(now, eid, rel_offset, len)?),
+            _ => Ok(dev.ba_sync_range(now, eid, rel_offset, len)?),
+        }
     }
 
-    /// Byte-path load from an owned window (ownership-checked
-    /// [`TwoBSsd::mmio_read`]).
+    /// Byte-path load from an owned window, through the row's selected
+    /// front-end (ownership-checked [`TwoBSsd::mmio_read`] or
+    /// [`TwoBSsd::cxl_load`]).
     ///
     /// # Errors
     ///
@@ -533,8 +617,11 @@ impl PinTable {
         rel_offset: u64,
         len: u64,
     ) -> Result<MmioReadOutcome, PinError> {
-        self.owned_pinned(now, tenant, eid)?;
-        Ok(dev.mmio_read(now, eid, rel_offset, len)?)
+        let entry = self.owned_pinned(now, tenant, eid)?;
+        match entry.front_end {
+            RegionFrontEnd::Cxl => Ok(dev.cxl_load(now, eid, rel_offset, len)?),
+            _ => Ok(dev.mmio_read(now, eid, rel_offset, len)?),
+        }
     }
 
     /// Proves `BA_GET_ENTRY_INFO` parity: every pin-table row must
@@ -803,6 +890,85 @@ mod tests {
                 .unwrap();
             assert_eq!(r.data, payload, "{tenant} lost its pinned bytes");
         }
+    }
+
+    #[test]
+    fn front_end_selection_routes_accesses() {
+        let (mut dev, mut pins) = setup(2);
+        let (eid, done) = pins
+            .pin(&mut dev, SimTime::ZERO, TenantId(0), Lba(0), 1)
+            .unwrap();
+        let t = done.complete_at;
+        assert_eq!(
+            pins.entry_info(eid).unwrap().front_end,
+            RegionFrontEnd::BaMmio,
+            "pins default to the paper's MMIO front-end"
+        );
+        pins.set_front_end(t, TenantId(0), eid, RegionFrontEnd::Cxl)
+            .unwrap();
+        let s = pins
+            .write(&mut dev, t, TenantId(0), eid, 0, b"via cxl")
+            .unwrap();
+        let sync = pins
+            .sync_range(&mut dev, s.retired_at, TenantId(0), eid, 0, 7)
+            .unwrap();
+        let r = pins
+            .read(&mut dev, sync.complete_at, TenantId(0), eid, 0, 7)
+            .unwrap();
+        assert_eq!(r.data, b"via cxl");
+        let stats = dev.stats();
+        assert_eq!(
+            (stats.cxl_stores, stats.cxl_persists, stats.cxl_loads),
+            (1, 1, 1),
+            "all three accesses should have taken the CXL path"
+        );
+        assert_eq!(stats.mmio_stores, 0);
+    }
+
+    #[test]
+    fn block_front_end_is_rejected_while_pinned() {
+        let (mut dev, mut pins) = setup(2);
+        let (eid, done) = pins
+            .pin(&mut dev, SimTime::ZERO, TenantId(0), Lba(0), 1)
+            .unwrap();
+        assert_eq!(
+            pins.set_front_end(done.complete_at, TenantId(0), eid, RegionFrontEnd::Block)
+                .unwrap_err(),
+            PinError::BadFrontEnd {
+                eid,
+                front_end: RegionFrontEnd::Block
+            }
+        );
+        // Non-owners cannot flip someone else's front-end either.
+        assert!(matches!(
+            pins.set_front_end(done.complete_at, TenantId(1), eid, RegionFrontEnd::Cxl),
+            Err(PinError::NotOwner { .. })
+        ));
+    }
+
+    #[test]
+    fn front_end_survives_reattach() {
+        use twob_sim::SimDuration;
+        let (mut dev, mut pins) = setup(2);
+        let (eid, done) = pins
+            .pin(&mut dev, SimTime::ZERO, TenantId(0), Lba(0), 1)
+            .unwrap();
+        let t = done.complete_at;
+        pins.set_front_end(t, TenantId(0), eid, RegionFrontEnd::Cxl)
+            .unwrap();
+        let s = pins
+            .write(&mut dev, t, TenantId(0), eid, 0, b"survive")
+            .unwrap();
+        pins.sync_range(&mut dev, s.retired_at, TenantId(0), eid, 0, 7)
+            .unwrap();
+        let cut = t + SimDuration::from_micros(100);
+        assert!(dev.power_loss(cut).dumped);
+        let up = cut + SimDuration::from_millis(1);
+        assert!(dev.power_on(up).restored);
+        assert_eq!(pins.reattach(&dev, up).unwrap(), 1);
+        assert_eq!(pins.entry_info(eid).unwrap().front_end, RegionFrontEnd::Cxl);
+        let r = pins.read(&mut dev, up, TenantId(0), eid, 0, 7).unwrap();
+        assert_eq!(r.data, b"survive");
     }
 
     #[test]

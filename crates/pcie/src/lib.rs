@@ -41,10 +41,12 @@
 
 mod bar;
 mod channel;
+mod cxl;
 mod timings;
 
 pub use bar::{AddressTranslationUnit, Bar, BarError};
 pub use channel::{
     FlushOutcome, HostByteChannel, PostedWrite, ReadOutcome, StoreOutcome, SyncOutcome,
 };
+pub use cxl::{CxlChannel, CxlTimings};
 pub use timings::PcieTimings;

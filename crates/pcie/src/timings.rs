@@ -44,6 +44,18 @@ pub struct PcieTimings {
 /// Cache-line / WC-buffer width in bytes on x86.
 pub(crate) const LINE: u64 = 64;
 
+/// Number of 64-byte lines `[offset, offset+len)` spans. Shared by the
+/// MMIO path (WC flush pricing) and the CXL path (persist-barrier
+/// pricing) so the two byte front-ends price line coverage identically.
+pub(crate) fn lines_spanned(offset: u64, len: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = offset / LINE;
+    let last = (offset + len - 1) / LINE;
+    last - first + 1
+}
+
 impl Default for PcieTimings {
     fn default() -> Self {
         PcieTimings {
@@ -65,6 +77,13 @@ impl Default for PcieTimings {
 }
 
 impl PcieTimings {
+    /// Record size below (and at) which an MMIO byte-path read beats
+    /// setting up the DMA engine, per paper Fig 7(a): the 2 KiB crossover
+    /// between serialized 8-byte read TLPs and the DC-SSD block/DMA path.
+    /// Single source of truth for every host-side fast-path decision
+    /// (`ShardWalHost` follower reads, the tier layer's cold-read routing).
+    pub const MMIO_DMA_CROSSOVER_BYTES: u64 = 2048;
+
     /// Latency of an MMIO read of `len` bytes: serialized 8-byte
     /// non-posted TLPs (paper §III-A3).
     pub fn mmio_read(&self, len: u64) -> SimDuration {
@@ -80,12 +99,7 @@ impl PcieTimings {
 
     /// Number of 64-byte lines `[offset, offset+len)` touches.
     pub fn lines_touched(&self, offset: u64, len: u64) -> u64 {
-        if len == 0 {
-            return 0;
-        }
-        let first = offset / LINE;
-        let last = (offset + len - 1) / LINE;
-        last - first + 1
+        lines_spanned(offset, len)
     }
 }
 
@@ -127,5 +141,70 @@ mod tests {
         assert_eq!(t.lines_touched(60, 8), 2);
         assert_eq!(t.lines_touched(64, 64), 1);
         assert_eq!(t.lines_touched(0, 4096), 64);
+    }
+
+    #[test]
+    fn lines_touched_zero_len_is_zero_at_any_offset() {
+        let t = PcieTimings::default();
+        for offset in [0, 1, 63, 64, 65, 4095, 1 << 20] {
+            assert_eq!(t.lines_touched(offset, 0), 0, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn lines_touched_exact_boundaries_and_unaligned() {
+        let t = PcieTimings::default();
+        // Aligned exact multiples: no extra line.
+        assert_eq!(t.lines_touched(0, 64), 1);
+        assert_eq!(t.lines_touched(128, 128), 2);
+        // One byte past an exact boundary pulls in the next line.
+        assert_eq!(t.lines_touched(0, 65), 2);
+        assert_eq!(t.lines_touched(63, 1), 1);
+        assert_eq!(t.lines_touched(63, 2), 2);
+        // Unaligned start, aligned end.
+        assert_eq!(t.lines_touched(1, 63), 1);
+        assert_eq!(t.lines_touched(1, 64), 2);
+        // Large unaligned straddle: 4 KiB starting mid-line.
+        assert_eq!(t.lines_touched(32, 4096), 65);
+    }
+
+    #[test]
+    fn mmio_read_edge_cases() {
+        let t = PcieTimings::default();
+        // Zero length still costs one non-posted TLP round trip.
+        assert_eq!(t.mmio_read(0), t.read_8b_rtt);
+        // Exact word boundary vs one byte over.
+        assert_eq!(t.mmio_read(8), t.read_8b_rtt);
+        assert_eq!(t.mmio_read(9), t.read_8b_rtt * 2);
+        assert_eq!(t.mmio_read(16), t.read_8b_rtt * 2);
+        // Sub-word reads round up to one TLP.
+        assert_eq!(t.mmio_read(1), t.read_8b_rtt);
+        assert_eq!(t.mmio_read(7), t.read_8b_rtt);
+    }
+
+    #[test]
+    fn mmio_write_edge_cases() {
+        let t = PcieTimings::default();
+        // Zero length still pays the posted-write base cost.
+        assert_eq!(t.mmio_write(0), t.wc_write_base);
+        // Exact line boundary vs one byte over.
+        assert_eq!(t.mmio_write(64), t.wc_write_base);
+        assert_eq!(t.mmio_write(65), t.wc_write_base + t.wc_burst);
+        assert_eq!(t.mmio_write(128), t.wc_write_base + t.wc_burst);
+        assert_eq!(t.mmio_write(129), t.wc_write_base + t.wc_burst * 2);
+        // Sub-line writes cost exactly the base.
+        assert_eq!(t.mmio_write(1), t.wc_write_base);
+    }
+
+    #[test]
+    fn crossover_constant_matches_fig7_dc_crossing() {
+        // The shared fast-path threshold sits at the paper's ~2 KiB
+        // MMIO-vs-DC-SSD crossing: at the threshold MMIO still wins.
+        let t = PcieTimings::default();
+        assert!(
+            t.mmio_read(PcieTimings::MMIO_DMA_CROSSOVER_BYTES)
+                .as_micros_f64()
+                < 83.0
+        );
     }
 }

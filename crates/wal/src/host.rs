@@ -34,8 +34,9 @@
 
 use std::collections::BTreeMap;
 
-use twob_core::{EntryId, PinTable, TenantId, TwoBSsd};
+use twob_core::{EntryId, PinTable, RegionFrontEnd, TenantId, TwoBSsd};
 use twob_ftl::Lba;
+use twob_pcie::PcieTimings;
 use twob_sim::{SimDuration, SimTime};
 use twob_ssd::BlockDevice;
 
@@ -78,6 +79,9 @@ pub struct HostConfig {
     pub region_base_lba: u64,
     /// Fixed per-record CPU cost (formatting, locking, bookkeeping).
     pub record_overhead: SimDuration,
+    /// Byte front-end serving the BA slots' windows (`Ba` mode only):
+    /// the paper's MMIO path or the CXL.mem cache-line path.
+    pub front_end: RegionFrontEnd,
 }
 
 impl Default for HostConfig {
@@ -89,13 +93,10 @@ impl Default for HostConfig {
             region_pages: 8,
             region_base_lba: 0,
             record_overhead: SimDuration::from_nanos(150),
+            front_end: RegionFrontEnd::BaMmio,
         }
     }
 }
-
-/// Below this many bytes an MMIO load beats programming the read-DMA
-/// engine (paper Fig 7(a): the curves cross near 2 KiB).
-const MMIO_DMA_CROSSOVER_BYTES: u64 = 2048;
 
 /// One hosted shard WAL.
 #[derive(Debug, Clone)]
@@ -277,6 +278,14 @@ impl ShardWalHost {
                 Lba(base),
                 self.cfg.window_pages,
             )?;
+            if self.cfg.front_end != RegionFrontEnd::BaMmio {
+                self.pins.set_front_end(
+                    done.complete_at,
+                    TenantId(slot),
+                    eid,
+                    self.cfg.front_end,
+                )?;
+            }
             state.eid = Some(eid);
             state.ready_at = done.complete_at;
         } else {
@@ -429,6 +438,10 @@ impl ShardWalHost {
                 Lba(next_rel),
                 self.cfg.window_pages,
             )?;
+            if self.cfg.front_end != RegionFrontEnd::BaMmio {
+                self.pins
+                    .set_front_end(pin.complete_at, tenant, eid, self.cfg.front_end)?;
+            }
             let state = self.slots.get_mut(&slot).expect("checked open");
             state.eid = Some(eid);
             state.ready_at = pin.complete_at;
@@ -604,10 +617,15 @@ impl ShardWalHost {
             if let Some(eid) = state.eid {
                 let hit = state.index.iter().find(|&&(l, _, _)| l == lsn.0).copied();
                 if let Some((_, offset, len)) = hit {
-                    let read = if len <= MMIO_DMA_CROSSOVER_BYTES {
-                        self.dev.mmio_read(now, eid, offset, len)?
-                    } else {
-                        self.dev.ba_read_dma(now, eid, offset, len)?
+                    let read = match self.cfg.front_end {
+                        // CXL line streaming beats the DMA engine's fixed
+                        // setup far past any window size, so window-resident
+                        // records always load directly.
+                        RegionFrontEnd::Cxl => self.dev.cxl_load(now, eid, offset, len)?,
+                        _ if len <= PcieTimings::MMIO_DMA_CROSSOVER_BYTES => {
+                            self.dev.mmio_read(now, eid, offset, len)?
+                        }
+                        _ => self.dev.ba_read_dma(now, eid, offset, len)?,
                     };
                     if let Some(rec) = decode_stream(&read.data)
                         .records
@@ -877,6 +895,44 @@ mod tests {
              block re-read ({block_us:.2} us) while the log's tail page \
              is being rewritten"
         );
+    }
+
+    #[test]
+    fn cxl_front_end_hosts_commit_faster_and_recover_identically() {
+        // The same slot traffic through the CXL front-end: every append,
+        // sync, and follower read takes the cache-line path, commits land
+        // earlier than MMIO + BA_SYNC, and recovery sees identical bytes.
+        let mut mmio = host(HostMode::Ba);
+        let mut cxl = ShardWalHost::new(
+            TwoBSsd::small_for_tests(),
+            HostConfig {
+                front_end: RegionFrontEnd::Cxl,
+                ..HostConfig::default()
+            },
+        )
+        .unwrap();
+        let tm0 = mmio.open_slot(t0(), 0).unwrap();
+        let tc0 = cxl.open_slot(t0(), 0).unwrap();
+        let (mut tm, mut tc) = (tm0, tc0);
+        for i in 0..6u64 {
+            let payload = format!("rec-{i}");
+            tm = mmio.append(tm, 0, payload.as_bytes()).unwrap().commit_at;
+            tc = cxl.append(tc, 0, payload.as_bytes()).unwrap().commit_at;
+        }
+        assert!(
+            tc.saturating_since(tc0) < tm.saturating_since(tm0),
+            "CXL commit chain should finish before the MMIO chain"
+        );
+        let stats = cxl.device().stats();
+        assert_eq!(stats.mmio_stores, 0, "no append leaked onto the WC path");
+        assert_eq!(stats.cxl_stores, 6);
+        assert_eq!(stats.cxl_persists, 6);
+        let (rec, _) = cxl.read_record(tc, 0, Lsn(3)).unwrap();
+        assert_eq!(rec.payload, b"rec-3");
+        assert!(cxl.device().stats().cxl_loads > 0, "read skipped CXL path");
+        let a = mmio.recover_slot(tm, 0).unwrap();
+        let b = cxl.recover_slot(tc, 0).unwrap();
+        assert_eq!(a, b, "front-ends must recover identical streams");
     }
 
     #[test]

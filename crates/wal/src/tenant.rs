@@ -24,7 +24,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use twob_core::{EntryId, IoCalendar, IoCompletion, IoOp, PinTable, TenantId, TwoBSsd};
+use twob_core::{
+    EntryId, IoCalendar, IoCompletion, IoOp, PinTable, RegionFrontEnd, TenantId, TwoBSsd,
+};
 use twob_ftl::Lba;
 use twob_sim::SimTime;
 use twob_ssd::BlockDevice;
@@ -73,6 +75,7 @@ pub struct TenantBaWal {
     tenant: TenantId,
     cfg: WalConfig,
     window_pages: u32,
+    front_end: RegionFrontEnd,
     eid: EntryId,
     /// When the current window's pin load completes.
     ready_at: SimTime,
@@ -100,7 +103,41 @@ impl TenantBaWal {
         cfg: WalConfig,
         window_pages: u32,
     ) -> Result<Self, WalError> {
+        TenantBaWal::with_front_end(
+            dev,
+            cal,
+            pins,
+            tenant,
+            cfg,
+            window_pages,
+            RegionFrontEnd::BaMmio,
+        )
+    }
+
+    /// Like [`TenantBaWal::new`], but serving the window through a chosen
+    /// byte front-end: the paper's MMIO + `BA_SYNC` path or the CXL.mem
+    /// load/store + persist-barrier path. Appends and commits route
+    /// through whichever front-end the window carries.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TenantBaWal::new`]; additionally rejects
+    /// [`RegionFrontEnd::Block`] (a byte-path WAL needs a byte window).
+    pub fn with_front_end(
+        dev: SharedDevice,
+        cal: SharedCalendar,
+        pins: SharedPins,
+        tenant: TenantId,
+        cfg: WalConfig,
+        window_pages: u32,
+        front_end: RegionFrontEnd,
+    ) -> Result<Self, WalError> {
         cfg.validate().map_err(WalError::BadConfig)?;
+        if front_end == RegionFrontEnd::Block {
+            return Err(WalError::BadConfig(
+                "a byte-path WAL window cannot be block-backed".into(),
+            ));
+        }
         if window_pages == 0 {
             return Err(WalError::BadConfig("window_pages must be positive".into()));
         }
@@ -121,6 +158,10 @@ impl TenantBaWal {
             Lba(cfg.region_base_lba),
             window_pages,
         )?;
+        if front_end != RegionFrontEnd::BaMmio {
+            pins.borrow_mut()
+                .set_front_end(pin.complete_at, tenant, eid, front_end)?;
+        }
         Ok(TenantBaWal {
             dev,
             cal,
@@ -128,6 +169,7 @@ impl TenantBaWal {
             tenant,
             cfg,
             window_pages,
+            front_end,
             eid,
             ready_at: pin.complete_at,
             used: 0,
@@ -151,6 +193,24 @@ impl TenantBaWal {
         u64::from(self.window_pages) * 4096
     }
 
+    /// The durability op of this window's front-end: a range `BA_SYNC` on
+    /// the MMIO path, a persist barrier on the CXL path. Both acknowledge
+    /// at the same contract — the covered bytes are device-durable.
+    fn sync_op(&self, rel_offset: u64, len: u64) -> IoOp {
+        match self.front_end {
+            RegionFrontEnd::Cxl => IoOp::CxlPersist {
+                eid: self.eid,
+                rel_offset,
+                len,
+            },
+            _ => IoOp::BaSyncRange {
+                eid: self.eid,
+                rel_offset,
+                len,
+            },
+        }
+    }
+
     /// Flushes the window to its pinned NAND pages and re-pins it at the
     /// next log-segment LBAs (rotate-in-place: the log path stalls for the
     /// flush, as the paper's single-buffered Redis port does).
@@ -172,6 +232,14 @@ impl TenantBaWal {
             next_lba,
             self.window_pages,
         )?;
+        if self.front_end != RegionFrontEnd::BaMmio {
+            self.pins.borrow_mut().set_front_end(
+                pin.complete_at,
+                self.tenant,
+                eid,
+                self.front_end,
+            )?;
+        }
         self.eid = eid;
         self.ready_at = pin.complete_at;
         self.used = 0;
@@ -220,11 +288,7 @@ impl WalWriter for TenantBaWal {
             &self.dev,
             &self.cal,
             store.retired_at,
-            IoOp::BaSyncRange {
-                eid: self.eid,
-                rel_offset: self.used,
-                len: bytes.len() as u64,
-            },
+            self.sync_op(self.used, bytes.len() as u64),
         )?;
         self.used += bytes.len() as u64;
         self.stats.commits += 1;
@@ -272,11 +336,7 @@ impl WalWriter for TenantBaWal {
                         &self.dev,
                         &self.cal,
                         t,
-                        IoOp::BaSyncRange {
-                            eid: self.eid,
-                            rel_offset: start,
-                            len: self.used - start,
-                        },
+                        self.sync_op(start, self.used - start),
                     )?;
                     t = sync.complete_at;
                 }
@@ -304,11 +364,7 @@ impl WalWriter for TenantBaWal {
                     &self.dev,
                     &self.cal,
                     t,
-                    IoOp::BaSyncRange {
-                        eid: self.eid,
-                        rel_offset: start,
-                        len: self.used - start,
-                    },
+                    self.sync_op(start, self.used - start),
                 )?
                 .complete_at
             }
@@ -644,6 +700,71 @@ mod tests {
         assert_eq!(w.stats().commits, 10);
         // One sync covered the whole batch.
         assert_eq!(dev.borrow().stats().syncs, 1);
+    }
+
+    #[test]
+    fn cxl_tenant_commits_faster_than_mmio_tenant() {
+        let (dev, cal, pins) = shared(2);
+        let mut mmio = TenantBaWal::new(
+            dev.clone(),
+            cal.clone(),
+            pins.clone(),
+            TenantId(0),
+            ba_cfg(0),
+            2,
+        )
+        .unwrap();
+        let mut cxl = TenantBaWal::with_front_end(
+            dev.clone(),
+            cal,
+            pins,
+            TenantId(1),
+            ba_cfg(1),
+            2,
+            RegionFrontEnd::Cxl,
+        )
+        .unwrap();
+        let start = SimTime::from_nanos(1_000_000);
+        let m = mmio.append_commit(start, &[1u8; 128]).unwrap();
+        let c = cxl.append_commit(m.commit_at, &[1u8; 128]).unwrap();
+        let mmio_lat = m.commit_at.saturating_since(start);
+        let cxl_lat = c.commit_at.saturating_since(m.commit_at);
+        assert!(
+            cxl_lat < mmio_lat,
+            "CXL commit {cxl_lat} should beat MMIO commit {mmio_lat}"
+        );
+        let stats = dev.borrow().stats();
+        assert_eq!(stats.cxl_persists, 1, "commit skipped the persist barrier");
+        assert_eq!(stats.syncs, 1, "MMIO tenant should have synced once");
+    }
+
+    #[test]
+    fn cxl_tenant_rotation_keeps_waf_one() {
+        let (dev, cal, pins) = shared(1);
+        let mut w = TenantBaWal::with_front_end(
+            dev.clone(),
+            cal,
+            pins,
+            TenantId(0),
+            ba_cfg(0),
+            2,
+            RegionFrontEnd::Cxl,
+        )
+        .unwrap();
+        let mut t = SimTime::from_nanos(1_000_000);
+        for _ in 0..300 {
+            t = w.append_commit(t, &[7u8; 100]).unwrap().commit_at;
+        }
+        let s = w.stats();
+        assert!(s.device_page_writes >= 4, "no rotations happened");
+        assert!(
+            (s.log_waf() - 1.0).abs() < f64::EPSILON,
+            "CXL tenant WAF {} != 1",
+            s.log_waf()
+        );
+        // Rotation flushes still ride BA_FLUSH — demotion to NAND is the
+        // shared path regardless of byte front-end.
+        assert!(dev.borrow().stats().flushes >= 2);
     }
 
     #[test]

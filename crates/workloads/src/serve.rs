@@ -22,8 +22,9 @@
 //!    plan drives every backend identically;
 //! 3. **execution** — admitted ops are distilled WAL commits
 //!    ([`IoOp::BaSyncRange`] on a pinned per-tenant window for the BA
-//!    scheme; a page [`IoOp::BlockWrite`] + [`IoOp::BlockFlush`] for the
-//!    block scheme), submitted in `(admit instant, tenant)` order to
+//!    scheme, an [`IoOp::CxlPersist`] barrier on the same window for the
+//!    CXL scheme; a page [`IoOp::BlockWrite`] + [`IoOp::BlockFlush`] for
+//!    the block scheme), submitted in `(admit instant, tenant)` order to
 //!    either the plain [`IoCalendar`] ([`ServiceDriver::serve`]) or a
 //!    [`ShardedIoCalendar`] placement ([`ServiceDriver::serve_sharded`],
 //!    digest-equal across lock-step, adaptive, and parallel drives);
@@ -304,7 +305,7 @@ impl ServiceDriver {
         // its BA buffer. (The block scheme has no BA window to saturate.)
         admitted.sort_unstable_by_key(|op| (op.submit_at, op.tenant));
         let mut shed_buffer = 0u64;
-        if cfg.scheme == WalScheme::Ba {
+        if cfg.scheme.is_byte_path() {
             let mut group_window_bytes: HashMap<(usize, u64), u64> = HashMap::new();
             let payload = cfg.payload_bytes as u64;
             admitted.retain(|op| {
@@ -350,7 +351,7 @@ impl ServiceDriver {
     /// Panics if a BA-scheme fleet exceeds the 256 mapping entries one
     /// device can hold, or on an internal setup failure.
     pub fn serve(cfg: &ServeConfig) -> ServeReport {
-        if cfg.scheme == WalScheme::Ba {
+        if cfg.scheme.is_byte_path() {
             assert!(
                 cfg.tenants <= 256,
                 "one device holds at most 256 BA mapping entries; shard the fleet"
@@ -370,6 +371,14 @@ impl ServiceDriver {
                 WalScheme::Ba => cal.submit(
                     at,
                     IoOp::BaSyncRange {
+                        eid: eids[usize::from(op.tenant)],
+                        rel_offset: 0,
+                        len: cfg.payload_bytes as u64,
+                    },
+                ),
+                WalScheme::Cxl => cal.submit(
+                    at,
+                    IoOp::CxlPersist {
                         eid: eids[usize::from(op.tenant)],
                         rel_offset: 0,
                         len: cfg.payload_bytes as u64,
@@ -420,6 +429,25 @@ impl ServiceDriver {
     /// Panics if `groups` does not evenly divide the tenant count or the
     /// per-group fleet exceeds one device's 256 mapping entries.
     pub fn serve_sharded(cfg: &ServeConfig, groups: usize, drive: ShardDrive) -> ServeReport {
+        Self::serve_sharded_placed(cfg, groups, groups, drive)
+    }
+
+    /// Like [`ServiceDriver::serve_sharded`], but with an explicit
+    /// group→shard placement: `shards` time domains over `groups` die
+    /// groups, round-robin. The completion digest is placement-invariant
+    /// (coalescing groups onto fewer shards reorders nothing observable),
+    /// which is what lets the tier and tenant sweeps pin one digest per
+    /// workload across every placement they run.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ServiceDriver::serve_sharded`], plus a zero `shards`.
+    pub fn serve_sharded_placed(
+        cfg: &ServeConfig,
+        groups: usize,
+        shards: usize,
+        drive: ShardDrive,
+    ) -> ServeReport {
         assert!(groups > 0, "need at least one group");
         assert!(
             usize::from(cfg.tenants) % groups == 0,
@@ -446,7 +474,7 @@ impl ServiceDriver {
         // `t % groups`.
         let mut eids = vec![None; usize::from(cfg.tenants)];
         let mut epoch = SimDuration::ZERO;
-        if cfg.scheme == WalScheme::Ba {
+        if cfg.scheme.is_byte_path() {
             let mut tables: Vec<PinTable> = devices
                 .iter()
                 .map(|d| PinTable::new(d.spec(), per_group).expect("per-tenant shares fit"))
@@ -469,7 +497,7 @@ impl ServiceDriver {
         }
         let mut cal = ShardedIoCalendar::new(
             devices,
-            GroupPlacement::round_robin(groups, groups),
+            GroupPlacement::round_robin(groups, shards),
             SimDuration::from_micros(2),
         );
         let mut measured: HashMap<u64, usize> = HashMap::with_capacity(plan.admitted.len());
@@ -482,6 +510,15 @@ impl ServiceDriver {
                     at,
                     group,
                     IoOp::BaSyncRange {
+                        eid: eids[usize::from(op.tenant)].expect("pinned above"),
+                        rel_offset: 0,
+                        len: cfg.payload_bytes as u64,
+                    },
+                ),
+                WalScheme::Cxl => cal.submit(
+                    at,
+                    group,
+                    IoOp::CxlPersist {
                         eid: eids[usize::from(op.tenant)].expect("pinned above"),
                         rel_offset: 0,
                         len: cfg.payload_bytes as u64,
@@ -534,7 +571,7 @@ impl ServiceDriver {
     ) -> (Vec<twob_core::EntryId>, SimDuration) {
         let mut eids = Vec::with_capacity(usize::from(tenants));
         let mut epoch = SimDuration::ZERO;
-        if cfg.scheme == WalScheme::Ba {
+        if cfg.scheme.is_byte_path() {
             let mut pins = PinTable::new(dev.spec(), tenants).expect("per-tenant shares fit");
             for tenant in 0..tenants {
                 let (eid, done) = pins
@@ -1045,8 +1082,8 @@ mod tests {
     }
 
     #[test]
-    fn serve_runs_both_schemes_and_meets_accounting() {
-        for scheme in [WalScheme::Ba, WalScheme::Block] {
+    fn serve_runs_every_scheme_and_meets_accounting() {
+        for scheme in [WalScheme::Ba, WalScheme::Cxl, WalScheme::Block] {
             let cfg = quick_cfg(4, scheme, ArrivalKind::Poisson, 20_000.0);
             let report = ServiceDriver::serve(&cfg);
             assert_eq!(report.scheme, scheme.label());
@@ -1055,6 +1092,31 @@ mod tests {
             assert_eq!(report.clamped_posts, 0, "{scheme:?}");
             assert!(report.p99_us >= report.p50_us, "{scheme:?}");
             assert!(report.windows > 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_serve_digest_is_drive_and_placement_invariant_for_cxl() {
+        let cfg = quick_cfg(8, WalScheme::Cxl, ArrivalKind::Poisson, 30_000.0);
+        let baseline = ServiceDriver::serve_sharded(&cfg, 4, ShardDrive::Lockstep);
+        assert_eq!(baseline.clamped_posts, 0);
+        assert!(baseline.completed > 0);
+        for drive in [
+            ShardDrive::Adaptive,
+            ShardDrive::Parallel(2),
+            ShardDrive::Parallel(4),
+        ] {
+            let got = ServiceDriver::serve_sharded(&cfg, 4, drive);
+            assert_eq!(got.digest, baseline.digest, "{} drifted", drive.label());
+        }
+        // Coalescing the 4 groups onto 2 shards is byte-front-end
+        // irrelevant: same digest.
+        for shards in [1, 2] {
+            let got = ServiceDriver::serve_sharded_placed(&cfg, 4, shards, ShardDrive::Adaptive);
+            assert_eq!(
+                got.digest, baseline.digest,
+                "{shards}-shard placement drifted"
+            );
         }
     }
 

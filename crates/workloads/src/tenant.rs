@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
-use twob_core::{IoCalendar, PinTable, TenantId, TwoBSsd};
+use twob_core::{IoCalendar, PinTable, RegionFrontEnd, TenantId, TwoBSsd};
 use twob_db::{DbError, EngineCosts, MiniPg, MiniRedis, MiniRocks};
 use twob_sim::{SimDuration, SimRng, SimTime};
 use twob_wal::{
@@ -97,8 +97,12 @@ impl EngineKind {
 /// Which logging scheme every tenant uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WalScheme {
-    /// BA-WAL: pinned byte-path windows arbitrated by the [`PinTable`].
+    /// BA-WAL: pinned byte-path windows arbitrated by the [`PinTable`],
+    /// served through the paper's MMIO front-end.
     Ba,
+    /// The same pinned windows served through the CXL.mem front-end:
+    /// cache-line stores committed by persist barriers.
+    Cxl,
     /// Conventional block WAL with a flush per batch, on the same device.
     Block,
 }
@@ -108,7 +112,23 @@ impl WalScheme {
     pub fn label(self) -> &'static str {
         match self {
             WalScheme::Ba => "ba",
+            WalScheme::Cxl => "cxl",
             WalScheme::Block => "block",
+        }
+    }
+
+    /// Whether the scheme logs through pinned byte-path windows (and so
+    /// needs a [`PinTable`] and BA-buffer capacity).
+    pub fn is_byte_path(self) -> bool {
+        matches!(self, WalScheme::Ba | WalScheme::Cxl)
+    }
+
+    /// The pin-table front-end serving this scheme's windows (block has
+    /// none and maps to the default).
+    pub fn front_end(self) -> RegionFrontEnd {
+        match self {
+            WalScheme::Cxl => RegionFrontEnd::Cxl,
+            _ => RegionFrontEnd::BaMmio,
         }
     }
 }
@@ -369,7 +389,7 @@ impl TenantPool {
                 "need at least one tenant, engine, and client".into(),
             )));
         }
-        let pins = if cfg.scheme == WalScheme::Ba {
+        let pins = if cfg.scheme.is_byte_path() {
             Some(Rc::new(RefCell::new(
                 PinTable::new(dev.spec(), cfg.tenants).map_err(WalError::from)?,
             )))
@@ -397,13 +417,14 @@ impl TenantPool {
                     } else {
                         1
                     };
-                    TenantWal::Ba(TenantBaWal::new(
+                    TenantWal::Ba(TenantBaWal::with_front_end(
                         dev.clone(),
                         cal.clone(),
                         pins.clone(),
                         TenantId(i),
                         wal_cfg,
                         window,
+                        cfg.scheme.front_end(),
                     )?)
                 }
                 None => TenantWal::Block(TenantBlockWal::new(
@@ -529,6 +550,27 @@ mod tests {
             ba.p99_us < block.p99_us,
             "ba p99 {} should beat block p99 {}",
             ba.p99_us,
+            block.p99_us
+        );
+    }
+
+    #[test]
+    fn cxl_scheme_runs_the_pool_through_persist_barriers() {
+        let mut pool = TenantPool::new(device(4), quick_cfg(4, WalScheme::Cxl)).unwrap();
+        let report = ServiceDriver::run_sessions(&mut pool).unwrap();
+        assert_eq!(report.scheme, "cxl");
+        assert!(report.commits > 0);
+        let stats = pool.device().borrow().stats();
+        assert!(stats.cxl_persists > 0, "commits must ride persist barriers");
+        assert_eq!(stats.syncs, 0, "no BA_SYNC should fire under CXL");
+        assert_eq!(stats.mmio_stores, 0, "stores must ride the CXL path");
+        // The block comparator on the same chassis is still slower.
+        let mut block_pool = TenantPool::new(device(4), quick_cfg(4, WalScheme::Block)).unwrap();
+        let block = ServiceDriver::run_sessions(&mut block_pool).unwrap();
+        assert!(
+            report.p99_us < block.p99_us,
+            "cxl p99 {} should beat block p99 {}",
+            report.p99_us,
             block.p99_us
         );
     }

@@ -14,6 +14,9 @@
 //! - [`pcie`] — PCIe link, MMIO semantics, and the host CPU ordering model.
 //! - [`core`] — the 2B-SSD itself: BA-buffer, LBA checker, read-DMA engine,
 //!   recovery manager, and the `BA_*` API.
+//! - [`cxl`] — the CXL.mem byte front-end's hot/cold tiering layer:
+//!   per-region heat tracking and calendar-routed promotion/demotion
+//!   between the byte tiers and block NAND.
 //! - [`wal`] — write-ahead logging schemes (Block-WAL, BA-WAL, PM-WAL).
 //! - [`db`] — miniature PostgreSQL/RocksDB/Redis-style engines.
 //! - [`fs`] — a journaling mini-filesystem with a pluggable journal.
@@ -42,6 +45,7 @@
 //! ```
 
 pub use twob_core as core;
+pub use twob_cxl as cxl;
 pub use twob_db as db;
 pub use twob_faults as faults;
 pub use twob_fs as fs;

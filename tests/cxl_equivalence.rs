@@ -1,0 +1,268 @@
+//! Differential crash equivalence of the two byte front-ends.
+//!
+//! The CXL.mem path (`cxl_store` + `cxl_persist`) and the BA-MMIO path
+//! (`mmio_write` + `ba_sync_range`) are different transports over the
+//! *same* capacitor-backed BA-buffer, so their durability contracts must
+//! coincide: a persist-barrier-delimited store sequence replayed through
+//! either front-end, cut by the `twob-faults` power-cut machinery at an
+//! arbitrary virtual instant, must recover byte-identical window contents
+//! for every barriered batch.
+//!
+//! Bytes stored *after* the last barrier are fair game — MMIO loses
+//! whatever sat in the write-combining buffer, CXL loses whatever sat in
+//! dirty lines, and their eviction timing legitimately differs — so the
+//! schedule confines the torn tail to the window's upper half and demands
+//! equality only where durability was promised: the lower half, which
+//! every barrier covers.
+//!
+//! Fault coverage rides on [`FaultPlan`]: the cut delay places the power
+//! loss off any commit boundary, `weak_capacitors` undersizes the bank so
+//! the dump's energy gate fails (then the invariant flips to "both paths
+//! detect the loss, neither restores"), and `nand_rber` injects bit
+//! errors under the dump/restore round-trip.
+
+use proptest::prelude::*;
+use twob::core::{EntryId, TwoBSpec, TwoBSsd};
+use twob::faults::{plan_strategy, FaultPlan};
+use twob::ftl::Lba;
+use twob::nand::{BitErrorModel, EccConfig};
+use twob::sim::{SimDuration, SimRng, SimTime};
+use twob::ssd::{BlockDevice, ErrorInjection, SsdConfig};
+
+/// Pages in the pinned window.
+const PAGES: u32 = 2;
+/// Window size in bytes.
+const WINDOW: u64 = PAGES as u64 * 4096;
+/// Barriered batches stay below this offset; the un-barriered tail stays
+/// at or above it, so the torn region never overlaps the durable one.
+const DURABLE_HALF: u64 = WINDOW / 2;
+
+/// Which byte front-end replays the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BytePath {
+    /// `mmio_write` stores, `ba_sync_range` barriers, `mmio_read` readback.
+    Mmio,
+    /// `cxl_store` stores, `cxl_persist` barriers, `cxl_load` readback.
+    Cxl,
+}
+
+/// What one front-end's replay recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Recovered {
+    /// The capacitor dump succeeded.
+    dumped: bool,
+    /// The dump carried a failure reason.
+    dump_refused: bool,
+    /// Restart found and restored a dump.
+    restored: bool,
+    /// The full window after recovery, when the entry came back.
+    window: Option<Vec<u8>>,
+    /// The window image every barrier promised durable.
+    expected: Vec<u8>,
+}
+
+/// The device both replays run on: the small test chassis, with the
+/// plan's capacitor shortfall and NAND bit-error rate applied — the same
+/// knobs the `twob-faults` harness turns.
+fn device(plan: &FaultPlan) -> TwoBSsd {
+    let mut cfg = SsdConfig::base_2b().small();
+    cfg.error_injection = plan.nand_rber.map(|rber| ErrorInjection {
+        ecc: EccConfig::default(),
+        model: BitErrorModel {
+            base_rber: rber,
+            rber_per_pe_cycle: 0.0,
+        },
+        seed: plan.seed,
+    });
+    let mut spec = TwoBSpec::small_for_tests();
+    if plan.weak_capacitors {
+        // Undersize the bank so the dump's energy gate fails.
+        spec.capacitors_uf = 0.5;
+    }
+    TwoBSsd::new(cfg, spec)
+}
+
+/// Replays the plan's barrier-delimited store schedule through one byte
+/// front-end, cuts power `cut_delay_ns` past the last acknowledgement,
+/// restarts, and reads the window back through the same front-end.
+///
+/// The schedule is derived from `plan.seed` alone, so both front-ends see
+/// byte-identical stores at identical offsets with identical barriers.
+fn replay(path: BytePath, plan: &FaultPlan) -> Recovered {
+    let mut dev = device(plan);
+    let mut t = SimTime::from_nanos(1_000);
+
+    // Seed the window's pages through the block path so the pin fills the
+    // buffer with known bytes.
+    let mut expected = vec![0u8; WINDOW as usize];
+    for (i, b) in expected.iter_mut().enumerate() {
+        *b = (plan.seed as u8).wrapping_add((i / 4096) as u8);
+    }
+    for page in 0..u64::from(PAGES) {
+        let lo = (page * 4096) as usize;
+        t = dev
+            .write_pages(t, Lba(4 + page), &expected[lo..lo + 4096])
+            .expect("seed page");
+    }
+    let pin = dev.ba_pin(t, EntryId(0), 0, Lba(4), PAGES).expect("pin");
+    t = pin.complete_at;
+
+    // Barriered batches: stores confined to the durable half, one
+    // range-barrier per batch covering everything the batch touched.
+    let mut rng = SimRng::seed_from(plan.seed ^ 0x2BCD_2BCD_2BCD_2BCD);
+    for _batch in 0..plan.commits {
+        let stores = 1 + rng.next_u64_below(3);
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for _ in 0..stores {
+            let len = 8 + rng.next_u64_below(57);
+            let off = rng.next_u64_below(DURABLE_HALF - len);
+            let fill = rng.next_u64_below(256) as u8;
+            let data: Vec<u8> = (0..len).map(|i| fill ^ (i as u8)).collect();
+            let store = match path {
+                BytePath::Mmio => dev.mmio_write(t, EntryId(0), off, &data),
+                BytePath::Cxl => dev.cxl_store(t, EntryId(0), off, &data),
+            }
+            .expect("store");
+            t = store.retired_at;
+            expected[off as usize..(off + len) as usize].copy_from_slice(&data);
+            lo = lo.min(off);
+            hi = hi.max(off + len);
+        }
+        let barrier = match path {
+            BytePath::Mmio => dev.ba_sync_range(t, EntryId(0), lo, hi - lo),
+            BytePath::Cxl => dev.cxl_persist(t, EntryId(0), lo, hi - lo),
+        }
+        .expect("barrier");
+        t = barrier.complete_at;
+    }
+
+    // The torn tail: acknowledged stores with no barrier, in the upper
+    // half only. Whatever the cut preserves of these is path-dependent
+    // (WC eviction vs dirty-line write-back) and asserted on by nobody.
+    for _ in 0..rng.next_u64_below(4) {
+        let len = 8 + rng.next_u64_below(57);
+        let off = DURABLE_HALF + rng.next_u64_below(DURABLE_HALF - len);
+        let fill = rng.next_u64_below(256) as u8;
+        let data: Vec<u8> = (0..len).map(|i| fill ^ (i as u8)).collect();
+        let store = match path {
+            BytePath::Mmio => dev.mmio_write(t, EntryId(0), off, &data),
+            BytePath::Cxl => dev.cxl_store(t, EntryId(0), off, &data),
+        }
+        .expect("tail store");
+        t = store.retired_at;
+    }
+
+    // Cut, restart, read back.
+    let cut = t + SimDuration::from_nanos(plan.cut_delay_ns);
+    let dump = dev.power_loss(cut);
+    let report = dev.power_on(cut + SimDuration::from_millis(1));
+    let t2 = cut + SimDuration::from_millis(2);
+    let window = if report.restored {
+        let read = match path {
+            BytePath::Mmio => dev.mmio_read(t2, EntryId(0), 0, WINDOW),
+            BytePath::Cxl => dev.cxl_load(t2, EntryId(0), 0, WINDOW),
+        }
+        .expect("readback after restore");
+        Some(read.data)
+    } else {
+        // No restore: the dump's refusal is the loss signal (asserted by
+        // the caller); the window's content carries no promise.
+        None
+    };
+    Recovered {
+        dumped: dump.dumped,
+        dump_refused: dump.reason.is_some(),
+        restored: report.restored,
+        window,
+        expected,
+    }
+}
+
+/// The equivalence check shared by the proptest and the unit cases.
+fn assert_paths_equivalent(plan: &FaultPlan) {
+    let mmio = replay(BytePath::Mmio, plan);
+    let cxl = replay(BytePath::Cxl, plan);
+
+    // Both replays derived the same schedule.
+    assert_eq!(mmio.expected, cxl.expected, "schedules diverged");
+
+    // Crash outcome parity: same dump verdict, same restore verdict.
+    assert_eq!(mmio.dumped, cxl.dumped, "dump verdicts differ");
+    assert_eq!(mmio.dump_refused, cxl.dump_refused, "dump reasons differ");
+    assert_eq!(mmio.restored, cxl.restored, "restore verdicts differ");
+    assert_eq!(
+        mmio.window.is_some(),
+        cxl.window.is_some(),
+        "one path recovered a window, the other did not"
+    );
+
+    if plan.weak_capacitors {
+        // The energy gate must fail loudly on both paths.
+        assert!(!mmio.dumped, "weak-capacitor dump succeeded");
+        assert!(mmio.dump_refused, "weak-capacitor loss was silent");
+        return;
+    }
+
+    // Full capacitors: every barriered byte recovers identically.
+    let half = DURABLE_HALF as usize;
+    let (a, b) = (
+        mmio.window.as_deref().expect("mmio window"),
+        cxl.window.as_deref().expect("cxl window"),
+    );
+    assert_eq!(
+        &a[..half],
+        &mmio.expected[..half],
+        "mmio durable half diverged from the barriered image"
+    );
+    assert_eq!(
+        &b[..half],
+        &cxl.expected[..half],
+        "cxl durable half diverged from the barriered image"
+    );
+    assert_eq!(
+        &a[..half],
+        &b[..half],
+        "front-ends recovered different bytes"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    /// The headline property: under arbitrary fault plans, CXL-path
+    /// recovery ≡ BA-MMIO-path recovery for every barriered batch.
+    #[test]
+    fn cxl_and_mmio_recover_identically(plan in plan_strategy()) {
+        assert_paths_equivalent(&plan);
+    }
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let plan = FaultPlan::random(11);
+    for path in [BytePath::Mmio, BytePath::Cxl] {
+        assert_eq!(replay(path, &plan), replay(path, &plan), "{path:?}");
+    }
+}
+
+#[test]
+fn a_healthy_plan_recovers_on_both_paths() {
+    let plan = FaultPlan {
+        weak_capacitors: false,
+        nand_rber: None,
+        ..FaultPlan::random(3)
+    };
+    assert_paths_equivalent(&plan);
+    let rec = replay(BytePath::Cxl, &plan);
+    assert!(rec.dumped && rec.restored, "healthy plan failed to recover");
+}
+
+#[test]
+fn a_weak_capacitor_plan_is_detected_on_both_paths() {
+    let plan = FaultPlan {
+        weak_capacitors: true,
+        ..FaultPlan::random(5)
+    };
+    assert_paths_equivalent(&plan);
+}
